@@ -1,0 +1,304 @@
+// Benchmarks for the experiment index of DESIGN.md: protocol throughput
+// (experiment X6) and one bench per experiment mechanism. Run with
+//
+//	go test -bench=. -benchmem .
+package starts_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"starts"
+	"starts/internal/corpus"
+	"starts/internal/engine"
+	"starts/internal/gloss"
+	"starts/internal/merge"
+	"starts/internal/translate"
+)
+
+// benchFleet builds a seeded universe of live sources once per benchmark.
+func benchFleet(b *testing.B, numSources, docs int, scorers ...engine.Scorer) []*starts.Source {
+	b.Helper()
+	if len(scorers) == 0 {
+		scorers = []engine.Scorer{engine.TFIDF{}}
+	}
+	g := corpus.Generate(corpus.Config{Seed: 5, NumSources: numSources, DocsPerSource: docs})
+	out := make([]*starts.Source, 0, numSources)
+	for i, spec := range g.Sources {
+		cfg := engine.NewVectorConfig()
+		cfg.Scorer = scorers[i%len(scorers)]
+		eng, err := starts.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := starts.NewSource(spec.ID, eng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range spec.Docs {
+			if err := s.Add(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func benchQuery(b *testing.B, ranking string) *starts.Query {
+	b.Helper()
+	q := starts.NewQuery()
+	r, err := starts.ParseRanking(ranking)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.Ranking = r
+	return q
+}
+
+// BenchmarkEngineSearch measures single-source query evaluation (the
+// substrate cost under every experiment).
+func BenchmarkEngineSearch(b *testing.B) {
+	srcs := benchFleet(b, 1, 1000)
+	q := benchQuery(b, `list((body-of-text "database") (body-of-text "query"))`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srcs[0].Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexing measures document ingestion.
+func BenchmarkIndexing(b *testing.B) {
+	g := corpus.Generate(corpus.Config{Seed: 6, NumSources: 1, DocsPerSource: 2000})
+	docs := g.Sources[0].Docs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := starts.NewVectorEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := docs[i%len(docs)]
+		cp := *d
+		cp.Linkage = fmt.Sprintf("%s-%d", d.Linkage, i)
+		if err := eng.Add(&cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummaryBuild is experiment X1's mechanism: generating a content
+// summary from a 1000-document index.
+func BenchmarkSummaryBuild(b *testing.B) {
+	srcs := benchFleet(b, 1, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if srcs[0].ContentSummary().NumDocs != 1000 {
+			b.Fatal("bad summary")
+		}
+	}
+}
+
+// BenchmarkGlossSelect is experiment X2's mechanism: ranking 10 sources
+// from their summaries.
+func BenchmarkGlossSelect(b *testing.B) {
+	srcs := benchFleet(b, 10, 200)
+	infos := make([]gloss.SourceInfo, len(srcs))
+	for i, s := range srcs {
+		infos[i] = gloss.SourceInfo{ID: s.ID(), Summary: s.ContentSummary()}
+	}
+	q := benchQuery(b, `list((body-of-text "database") (body-of-text "patient"))`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := (gloss.VSum{}).Rank(q, infos); len(got) != 10 {
+			b.Fatal("bad rank")
+		}
+	}
+}
+
+// BenchmarkMergeStrategies is experiment X3's mechanism: fusing results
+// from three incompatible rankers.
+func BenchmarkMergeStrategies(b *testing.B) {
+	srcs := benchFleet(b, 3, 300, engine.TFIDF{}, engine.TopK{}, engine.RawTF{})
+	q := benchQuery(b, `list((body-of-text "database") (body-of-text "query"))`)
+	q.MaxResults = 30
+	var inputs []merge.SourceResult
+	for _, s := range srcs {
+		r, err := s.Search(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs = append(inputs, merge.SourceResult{
+			SourceID: s.ID(), Meta: s.Metadata(), Summary: s.ContentSummary(), Results: r,
+		})
+	}
+	for _, strat := range []merge.Strategy{merge.RawScore{}, merge.Scaled{}, merge.TermStats{}} {
+		b.Run(strat.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := strat.Merge(q, inputs); len(got) == 0 {
+					b.Fatal("empty merge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTranslate is experiment X4's mechanism: rewriting a query from
+// source metadata.
+func BenchmarkTranslate(b *testing.B) {
+	srcs := benchFleet(b, 1, 50)
+	md := srcs[0].Metadata()
+	q := starts.NewQuery()
+	f, err := starts.ParseFilter(`((author "Ada") and ((title stem "database") or (body-of-text "query")))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.Filter = f
+	q.Ranking, _ = starts.ParseRanking(`list((body-of-text "database"))`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sent, _ := translate.ForSource(q, md); sent.Filter == nil {
+			b.Fatal("translation lost the filter")
+		}
+	}
+}
+
+// BenchmarkResourceQuery is experiment E4's mechanism: a same-resource
+// multi-source query with duplicate elimination.
+func BenchmarkResourceQuery(b *testing.B) {
+	srcs := benchFleet(b, 3, 200)
+	res := starts.NewResource()
+	for _, s := range srcs {
+		if err := res.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := benchQuery(b, `list((body-of-text "database"))`)
+	q.Sources = []string{srcs[1].ID(), srcs[2].ID()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Search(srcs[0].ID(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetasearchLocal is X6: the full pipeline (selection,
+// translation, fan-out, merging) over in-process sources.
+func BenchmarkMetasearchLocal(b *testing.B) {
+	srcs := benchFleet(b, 5, 200, engine.TFIDF{}, engine.TopK{})
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{MaxSources: 3})
+	for _, s := range srcs {
+		ms.Add(starts.NewLocalConn(s, nil))
+	}
+	ctx := context.Background()
+	if err := ms.Harvest(ctx); err != nil {
+		b.Fatal(err)
+	}
+	q := benchQuery(b, `list((body-of-text "database") (body-of-text "patient"))`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ms.Search(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndHTTP is X6: one query round trip over the HTTP
+// transport, including SOIF encoding on both sides.
+func BenchmarkEndToEndHTTP(b *testing.B) {
+	srcs := benchFleet(b, 1, 500)
+	res := starts.NewResource()
+	if err := res.Add(srcs[0]); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(nil)
+	defer ts.Close()
+	ts.Config.Handler = starts.NewServer(res, ts.URL)
+	c := starts.NewClient(ts.Client())
+	q := benchQuery(b, `list((body-of-text "database"))`)
+	q.MaxResults = 10
+	ctx := context.Background()
+	url := ts.URL + "/sources/" + srcs[0].ID() + "/query"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(ctx, url, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarvestHTTP is X6: harvesting metadata plus summary over HTTP.
+func BenchmarkHarvestHTTP(b *testing.B) {
+	srcs := benchFleet(b, 2, 300)
+	res := starts.NewResource()
+	for _, s := range srcs {
+		if err := res.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(nil)
+	defer ts.Close()
+	ts.Config.Handler = starts.NewServer(res, ts.URL)
+	ctx := context.Background()
+	c := starts.NewClient(ts.Client())
+	conns, err := c.Discover(ctx, ts.URL+"/resource")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn := conns[i%len(conns)]
+		if _, err := conn.Metadata(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Summary(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleResults is X8's mechanism: producing calibration data.
+func BenchmarkSampleResults(b *testing.B) {
+	srcs := benchFleet(b, 1, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srcs[0].SampleResults(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrationFit is X8's mechanism: fitting the score map.
+func BenchmarkCalibrationFit(b *testing.B) {
+	srcs := benchFleet(b, 2, 50, engine.TFIDF{}, engine.TopK{})
+	ref, err := srcs[0].SampleResults()
+	if err != nil {
+		b.Fatal(err)
+	}
+	smp, err := srcs[1].SampleResults()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merge.Fit(smp, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

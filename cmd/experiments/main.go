@@ -1,0 +1,109 @@
+// Command experiments runs every claim-validation experiment of DESIGN.md
+// (X1, X2, X3, X4, X5, X7, X8) at the EXPERIMENTS.md configurations and
+// prints their tables. X6 (throughput) lives in the benchmark suite:
+// go test -bench=. -benchmem .
+//
+//	go run ./cmd/experiments            # all experiments
+//	go run ./cmd/experiments -only X2   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"starts/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (X1, X2, X3, X4, X5, X7, X8, X2a, X4a)")
+	flag.Parse()
+
+	runners := []struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}{
+		{"X1", func() (*experiments.Table, error) {
+			r, err := experiments.RunSummarySize(11, 10, 300)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X2", func() (*experiments.Table, error) {
+			r, err := experiments.RunSelection(experiments.DefaultSelectionConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X3", func() (*experiments.Table, error) {
+			r, err := experiments.RunMerge(experiments.DefaultMergeConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X4", func() (*experiments.Table, error) {
+			r, err := experiments.RunTranslation(experiments.DefaultTranslationConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X5", func() (*experiments.Table, error) {
+			r, err := experiments.RunStopWords()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X7", func() (*experiments.Table, error) {
+			r, err := experiments.RunDuplicates(experiments.DefaultDuplicatesConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X8", func() (*experiments.Table, error) {
+			r, err := experiments.RunCalibration(experiments.DefaultMergeConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X2a", func() (*experiments.Table, error) {
+			r, err := experiments.RunGranularity(experiments.DefaultSelectionConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"X4a", func() (*experiments.Table, error) {
+			r, err := experiments.RunProxAblation(51, 400, 60)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if *only != "" && !strings.EqualFold(*only, r.id) {
+			continue
+		}
+		tab, err := r.run()
+		if err != nil {
+			log.Fatalf("experiments: %s: %v", r.id, err)
+		}
+		fmt.Println(tab.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,116 @@
+// Command metasearch runs the full metasearch pipeline against one or
+// more STARTS resources served over HTTP: discovery, metadata/summary
+// harvesting, GlOSS source selection, per-source query translation,
+// concurrent evaluation and rank merging.
+//
+//	metasearch -resources http://127.0.0.1:8080/resource \
+//	           -ranking 'list((body-of-text "database"))' \
+//	           -select vsum -merge term-stats -max-sources 3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"starts"
+	"starts/internal/gloss"
+	"starts/internal/merge"
+)
+
+func main() {
+	var (
+		resources  = flag.String("resources", "", "comma-separated resource URLs")
+		filter     = flag.String("filter", "", "filter expression")
+		ranking    = flag.String("ranking", "", "ranking expression")
+		selectName = flag.String("select", "vsum", "source selector: vsum | vmax | bgloss | random")
+		mergeName  = flag.String("merge", "term-stats", "merge strategy: term-stats | term-stats-local | scaled | raw | round-robin")
+		maxSources = flag.Int("max-sources", 0, "contact at most N sources (0 = all promising)")
+		max        = flag.Int("max", 10, "maximum number of merged documents")
+		verify     = flag.Bool("verify", false, "post-filter results against dropped query parts")
+		timeout    = flag.Duration("timeout", 15*time.Second, "per-source timeout")
+	)
+	flag.Parse()
+	if *resources == "" {
+		fmt.Fprintln(os.Stderr, "metasearch: -resources is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	selectors := map[string]starts.Selector{
+		"vsum": gloss.VSum{}, "vmax": gloss.VMax{}, "bgloss": gloss.BGloss{}, "random": gloss.Random{},
+	}
+	mergers := map[string]starts.MergeStrategy{
+		"term-stats": merge.TermStats{}, "term-stats-local": merge.TermStats{LocalIDF: true},
+		"scaled": merge.Scaled{}, "raw": merge.RawScore{}, "round-robin": merge.RoundRobin{},
+	}
+	sel, ok := selectors[*selectName]
+	if !ok {
+		log.Fatalf("metasearch: unknown selector %q", *selectName)
+	}
+	mrg, ok := mergers[*mergeName]
+	if !ok {
+		log.Fatalf("metasearch: unknown merge strategy %q", *mergeName)
+	}
+
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+		Selector: sel, Merger: mrg, MaxSources: *maxSources,
+		Timeout: *timeout, PostFilter: *verify,
+	})
+	ctx := context.Background()
+	hc := starts.NewClient(nil)
+	for _, url := range strings.Split(*resources, ",") {
+		conns, err := hc.Discover(ctx, strings.TrimSpace(url))
+		if err != nil {
+			log.Fatalf("metasearch: discovering %s: %v", url, err)
+		}
+		for _, c := range conns {
+			ms.Add(c)
+		}
+	}
+	if err := ms.Harvest(ctx); err != nil {
+		log.Fatalf("metasearch: harvesting: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "harvested %d sources\n", len(ms.SourceIDs()))
+
+	q := starts.NewQuery()
+	var err error
+	if *filter != "" {
+		if q.Filter, err = starts.ParseFilter(*filter); err != nil {
+			log.Fatalf("metasearch: %v", err)
+		}
+	}
+	if *ranking != "" {
+		if q.Ranking, err = starts.ParseRanking(*ranking); err != nil {
+			log.Fatalf("metasearch: %v", err)
+		}
+	}
+	q.MaxResults = *max
+
+	answer, err := ms.Search(ctx, q)
+	if err != nil {
+		log.Fatalf("metasearch: %v", err)
+	}
+	fmt.Printf("selection (%s):", sel.Name())
+	for _, r := range answer.Selected {
+		fmt.Printf(" %s=%.1f", r.ID, r.Goodness)
+	}
+	fmt.Printf("\ncontacted: %v\nmerge: %s\n\n", answer.Contacted, mrg.Name())
+	for i, d := range answer.Documents {
+		fmt.Printf("%2d. %-60s %v\n", i+1, d.Title(), d.Sources)
+		fmt.Printf("    %s\n", d.Linkage())
+	}
+	for id, oc := range answer.PerSource {
+		switch {
+		case oc.Err != nil:
+			fmt.Fprintf(os.Stderr, "source %s failed: %v\n", id, oc.Err)
+		case oc.Report != nil && !oc.Report.Clean():
+			fmt.Fprintf(os.Stderr, "source %s: lossy translation (%d dropped terms, filter dropped %v, ranking dropped %v)\n",
+				id, len(oc.Report.DroppedTerms), oc.Report.DroppedFilter, oc.Report.DroppedRanking)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command startsgen generates a deterministic synthetic corpus (and,
+// optionally, a query workload) to JSON files shared by the other tools
+// and the experiment harnesses.
+//
+//	startsgen -out corpus.json -sources 10 -docs 500 -seed 7
+//	startsgen -out corpus.json -workload workload.json -queries 100
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"starts/internal/corpus"
+	"starts/internal/corpusio"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "corpus.json", "corpus output file")
+		sources  = flag.Int("sources", 4, "number of sources")
+		docs     = flag.Int("docs", 200, "documents per source")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		overlap  = flag.Float64("overlap", 0, "fraction of docs duplicated into the next source")
+		workload = flag.String("workload", "", "also write a query workload to this file")
+		queries  = flag.Int("queries", 50, "workload size")
+	)
+	flag.Parse()
+
+	g := corpus.Generate(corpus.Config{
+		Seed: *seed, NumSources: *sources, DocsPerSource: *docs, Overlap: *overlap,
+	})
+	if err := corpusio.Save(*out, g); err != nil {
+		log.Fatalf("startsgen: %v", err)
+	}
+	total := 0
+	for _, s := range g.Sources {
+		total += len(s.Docs)
+	}
+	fmt.Printf("wrote %s: %d sources, %d documents\n", *out, len(g.Sources), total)
+
+	if *workload != "" {
+		wl := corpus.Workload(g, corpus.WorkloadConfig{Seed: *seed + 1, NumQueries: *queries})
+		type entry struct {
+			Topic   string   `json:"topic"`
+			Terms   []string `json:"terms"`
+			Ranking string   `json:"ranking"`
+			Filter  string   `json:"filter,omitempty"`
+		}
+		var entries []entry
+		for _, wq := range wl {
+			e := entry{Topic: wq.Topic, Terms: wq.Terms, Ranking: wq.Query.Ranking.String()}
+			if wq.Query.Filter != nil {
+				e.Filter = wq.Query.Filter.String()
+			}
+			entries = append(entries, e)
+		}
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			log.Fatalf("startsgen: %v", err)
+		}
+		if err := os.WriteFile(*workload, data, 0o644); err != nil {
+			log.Fatalf("startsgen: %v", err)
+		}
+		fmt.Printf("wrote %s: %d queries\n", *workload, len(entries))
+	}
+}

@@ -1,0 +1,180 @@
+// Command startsh is an interactive STARTS shell: it discovers one or
+// more resources, harvests their sources, and then reads commands from
+// stdin:
+//
+//	sources                         list harvested sources
+//	meta <source-id>                show a source's metadata (SOIF)
+//	summary <source-id>             show content-summary statistics
+//	select <ranking-expr>           rank sources for a query (vGlOSS)
+//	q <ranking-expr>                metasearch with a ranking expression
+//	f <filter-expr>                 metasearch with a filter expression
+//	stats                           per-source latency/failure statistics
+//	help                            this text
+//	quit
+//
+//	startsh -resources http://127.0.0.1:8080/resource
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"starts"
+	"starts/internal/gloss"
+)
+
+func main() {
+	resources := flag.String("resources", "", "comma-separated resource URLs")
+	flag.Parse()
+	if *resources == "" {
+		fmt.Fprintln(os.Stderr, "startsh: -resources is required")
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	hc := starts.NewClient(nil)
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{Timeout: 15 * time.Second})
+	for _, url := range strings.Split(*resources, ",") {
+		conns, err := hc.Discover(ctx, strings.TrimSpace(url))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "startsh: discovering %s: %v\n", url, err)
+			os.Exit(1)
+		}
+		for _, c := range conns {
+			ms.Add(c)
+		}
+	}
+	if err := ms.Harvest(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "startsh: harvesting: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("harvested %d sources; type help for commands\n", len(ms.SourceIDs()))
+
+	sh := &shell{ms: ms, ctx: ctx}
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("starts> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if line != "" {
+			sh.dispatch(line)
+		}
+		fmt.Print("starts> ")
+	}
+	fmt.Println()
+}
+
+type shell struct {
+	ms  *starts.Metasearcher
+	ctx context.Context
+}
+
+func (s *shell) dispatch(line string) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		fmt.Println("sources | meta <id> | summary <id> | select <ranking> | q <ranking> | f <filter> | stats | quit")
+	case "sources":
+		for _, id := range s.ms.SourceIDs() {
+			md, _, ok := s.ms.Harvested(id)
+			if !ok {
+				fmt.Printf("  %s (not harvested)\n", id)
+				continue
+			}
+			fmt.Printf("  %-24s parts=%-2s ranker=%-8s %s\n", id, md.QueryParts, md.RankingAlgorithmID, md.SourceName)
+		}
+	case "meta":
+		md, _, ok := s.ms.Harvested(rest)
+		if !ok {
+			fmt.Printf("unknown source %q\n", rest)
+			return
+		}
+		data, err := md.Marshal()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		os.Stdout.Write(data)
+	case "summary":
+		_, sum, ok := s.ms.Harvested(rest)
+		if !ok {
+			fmt.Printf("unknown source %q\n", rest)
+			return
+		}
+		fmt.Printf("documents %d, vocabulary %d terms, stemmed %v, field-qualified %v\n",
+			sum.NumDocs, sum.TotalTerms(), sum.Stemming, sum.FieldsQualified)
+	case "select":
+		q, err := rankingQuery(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		var infos []gloss.SourceInfo
+		for _, id := range s.ms.SourceIDs() {
+			md, sum, _ := s.ms.Harvested(id)
+			infos = append(infos, gloss.SourceInfo{ID: id, Summary: sum, Meta: md})
+		}
+		for _, r := range (gloss.VSum{}).Rank(q, infos) {
+			fmt.Printf("  %-24s %.1f\n", r.ID, r.Goodness)
+		}
+	case "q", "f":
+		var q *starts.Query
+		var err error
+		if cmd == "q" {
+			q, err = rankingQuery(rest)
+		} else {
+			q = starts.NewQuery()
+			q.Filter, err = starts.ParseFilter(rest)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		q.MaxResults = 10
+		ans, err := s.ms.Search(s.ctx, q)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("contacted %v\n", ans.Contacted)
+		for i, d := range ans.Documents {
+			fmt.Printf("%2d. %8.3f  %-55s %v\n", i+1, d.RawScore, clip(d.Title(), 55), d.Sources)
+		}
+	case "stats":
+		for _, id := range s.ms.SourceIDs() {
+			st, ok := s.ms.Stats(id)
+			if !ok {
+				fmt.Printf("  %-24s (no queries yet)\n", id)
+				continue
+			}
+			fmt.Printf("  %-24s queries=%d failures=%d mean-latency=%v\n",
+				id, st.Queries, st.Failures, st.MeanLatency.Round(time.Millisecond))
+		}
+	default:
+		fmt.Printf("unknown command %q (try help)\n", cmd)
+	}
+}
+
+func rankingQuery(src string) (*starts.Query, error) {
+	q := starts.NewQuery()
+	r, err := starts.ParseRanking(src)
+	if err != nil {
+		return nil, err
+	}
+	q.Ranking = r
+	return q, nil
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n-3] + "..."
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+// Command startsq queries a single STARTS source from the command line
+// and prints the results as a table or as raw SOIF.
+//
+//	startsq -source http://127.0.0.1:8080/sources/src-00-databases \
+//	        -ranking 'list((body-of-text "database") (body-of-text "query"))' \
+//	        -max 10
+//
+// It can also fetch a source's metadata or content summary:
+//
+//	startsq -source http://.../sources/src-00-databases -show metadata
+//	startsq -source http://.../sources/src-00-databases -show summary
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"starts"
+	"starts/internal/attr"
+)
+
+func main() {
+	var (
+		sourceURL = flag.String("source", "", "source base URL (…/sources/{id})")
+		filter    = flag.String("filter", "", "filter expression")
+		ranking   = flag.String("ranking", "", "ranking expression")
+		max       = flag.Int("max", 10, "maximum number of documents")
+		minScore  = flag.Float64("min-score", 0, "minimum document score")
+		keepStop  = flag.Bool("keep-stop-words", false, "ask the source to keep stop words")
+		fields    = flag.String("answer", "title author", "answer fields (space separated)")
+		show      = flag.String("show", "results", "what to print: results | soif | metadata | summary")
+		timeout   = flag.Duration("timeout", 15*time.Second, "request timeout")
+	)
+	flag.Parse()
+	if *sourceURL == "" {
+		fmt.Fprintln(os.Stderr, "startsq: -source is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := starts.NewClient(nil)
+
+	switch *show {
+	case "metadata":
+		m, err := c.Metadata(ctx, *sourceURL+"/metadata")
+		if err != nil {
+			log.Fatalf("startsq: %v", err)
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			log.Fatalf("startsq: %v", err)
+		}
+		os.Stdout.Write(data)
+		return
+	case "summary":
+		s, err := c.Summary(ctx, *sourceURL+"/summary")
+		if err != nil {
+			log.Fatalf("startsq: %v", err)
+		}
+		fmt.Printf("documents: %d   vocabulary: %d terms   stemmed: %v   fields: %v\n",
+			s.NumDocs, s.TotalTerms(), s.Stemming, s.FieldsQualified)
+		return
+	}
+
+	if *filter == "" && *ranking == "" {
+		log.Fatal("startsq: need -filter and/or -ranking")
+	}
+	q := starts.NewQuery()
+	var err error
+	if *filter != "" {
+		if q.Filter, err = starts.ParseFilter(*filter); err != nil {
+			log.Fatalf("startsq: %v", err)
+		}
+	}
+	if *ranking != "" {
+		if q.Ranking, err = starts.ParseRanking(*ranking); err != nil {
+			log.Fatalf("startsq: %v", err)
+		}
+	}
+	q.MaxResults = *max
+	q.MinScore = *minScore
+	q.DropStopWords = !*keepStop
+	q.AnswerFields = nil
+	for _, f := range strings.Fields(*fields) {
+		q.AnswerFields = append(q.AnswerFields, attr.Field(f))
+	}
+
+	res, err := c.Query(ctx, *sourceURL+"/query", q)
+	if err != nil {
+		log.Fatalf("startsq: %v", err)
+	}
+	if *show == "soif" {
+		data, err := res.Marshal()
+		if err != nil {
+			log.Fatalf("startsq: %v", err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	if res.ActualFilter != nil {
+		fmt.Printf("actual filter:  %s\n", res.ActualFilter)
+	}
+	if res.ActualRanking != nil {
+		fmt.Printf("actual ranking: %s\n", res.ActualRanking)
+	}
+	fmt.Printf("%d documents from %s\n\n", len(res.Documents), strings.Join(res.Sources, ", "))
+	for i, d := range res.Documents {
+		fmt.Printf("%2d. %8.4f  %s\n", i+1, d.RawScore, d.Title())
+		fmt.Printf("              %s\n", d.Linkage())
+	}
+}

@@ -1,0 +1,94 @@
+package starts_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"starts"
+)
+
+// ExampleParseFilter parses the paper's Example 1 filter expression.
+func ExampleParseFilter() {
+	expr, err := starts.ParseFilter(`((author "Ullman") and (title stem "databases"))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(expr)
+	// Output: ((author "Ullman") and (title stem "databases"))
+}
+
+// ExampleNewQuery shows the SOIF encoding of a complete query, the wire
+// form of the paper's Example 6.
+func ExampleNewQuery() {
+	q := starts.NewQuery()
+	var err error
+	q.Ranking, err = starts.ParseRanking(`list((body-of-text "distributed") (body-of-text "databases"))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.MinScore = 0.5
+	q.MaxResults = 10
+	data, err := q.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(data))
+	// Output:
+	// @SQuery{
+	// Version{10}: STARTS 1.0
+	// RankingExpression{61}: list((body-of-text "distributed") (body-of-text "databases"))
+	// DropStopWords{1}: T
+	// DefaultAttributeSet{7}: basic-1
+	// DefaultLanguage{5}: en-US
+	// AnswerFields{13}: title linkage
+	// SortByFields{7}: score d
+	// MinDocumentScore{3}: 0.5
+	// MaxNumberDocuments{2}: 10
+	// }
+}
+
+// ExampleMetasearcher runs one query across two in-process sources.
+func ExampleMetasearcher() {
+	mkSource := func(id, title, body string) *starts.Source {
+		eng, err := starts.NewVectorEngine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := starts.NewSource(id, eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := src.Add(&starts.Document{
+			Linkage: "http://" + id + "/doc",
+			Title:   title,
+			Body:    body,
+			Date:    time.Date(1996, 1, 1, 0, 0, 0, 0, time.UTC),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return src
+	}
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{})
+	ms.Add(starts.NewLocalConn(mkSource("cs", "Distributed databases", "distributed databases and query processing"), nil))
+	ms.Add(starts.NewLocalConn(mkSource("garden", "Tomato growing", "tomato compost watering"), nil))
+
+	q := starts.NewQuery()
+	var err error
+	q.Ranking, err = starts.ParseRanking(`list((body-of-text "databases"))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answer, err := ms.Search(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("contacted:", answer.Contacted)
+	for _, d := range answer.Documents {
+		fmt.Println(d.Title())
+	}
+	// Output:
+	// contacted: [cs]
+	// Distributed databases
+}

@@ -1,0 +1,119 @@
+// Federation: serve two STARTS resources over HTTP (four sources with
+// deliberately different engines and topical content), then run a
+// metasearcher against them end to end — discovery, harvesting,
+// GlOSS-based source selection, per-source translation, merging.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"starts"
+	"starts/internal/corpus"
+	"starts/internal/engine"
+)
+
+func main() {
+	universe := corpus.Generate(corpus.Config{
+		Seed: 42, NumSources: 4, DocsPerSource: 150, Overlap: 0.1,
+	})
+
+	// Two resources of two sources each, with alternating engine
+	// profiles: half full vector engines, half Boolean-only.
+	var resourceURLs []string
+	for r := 0; r < 2; r++ {
+		res := starts.NewResource()
+		for s := 0; s < 2; s++ {
+			spec := universe.Sources[r*2+s]
+			var eng *starts.Engine
+			var err error
+			if s == 0 {
+				eng, err = starts.NewVectorEngine()
+			} else {
+				cfg := engine.NewVectorConfig()
+				cfg.Scorer = engine.TopK{} // incompatible 0-1000 scoring
+				eng, err = starts.NewEngine(cfg)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			src, err := starts.NewSource(spec.ID, eng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, d := range spec.Docs {
+				if err := src.Add(d); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := res.Add(src); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := "http://" + ln.Addr().String()
+		srv := &http.Server{Handler: starts.NewServer(res, base)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		resourceURLs = append(resourceURLs, base+"/resource")
+		fmt.Printf("serving resource %d at %s\n", r+1, base)
+	}
+
+	// Metasearch across both resources.
+	ctx := context.Background()
+	hc := starts.NewClient(nil)
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+		Selector:   starts.SelectVSum,
+		Merger:     starts.MergeScaled,
+		MaxSources: 2, // contact only the two most promising sources
+	})
+	for _, url := range resourceURLs {
+		conns, err := hc.Discover(ctx, url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range conns {
+			ms.Add(c)
+		}
+	}
+	if err := ms.Harvest(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("harvested %d sources\n\n", len(ms.SourceIDs()))
+
+	for _, text := range []string{
+		`list((body-of-text "database") (body-of-text "distributed"))`,
+		`list((body-of-text "tomato") (body-of-text "compost"))`,
+		`list((body-of-text "court") (body-of-text "verdict"))`,
+	} {
+		q := starts.NewQuery()
+		r, err := starts.ParseRanking(text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.Ranking = r
+		q.MaxResults = 5
+		answer, err := ms.Search(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n", text)
+		fmt.Printf("  selection order:")
+		for _, sel := range answer.Selected {
+			fmt.Printf(" %s(%.0f)", sel.ID, sel.Goodness)
+		}
+		fmt.Printf("\n  contacted: %v\n", answer.Contacted)
+		for i, d := range answer.Documents {
+			fmt.Printf("  %d. %-55s %v\n", i+1, d.Title(), d.Sources)
+		}
+		fmt.Println()
+	}
+}

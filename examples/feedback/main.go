@@ -1,0 +1,96 @@
+// Feedback: the two escape hatches of the Basic-1 field set. The
+// Document-text field passes a whole document as a query term and asks for
+// similar documents (relevance feedback); the Free-form-text field passes
+// a query in the source's own native query language, for metasearchers
+// that know the engine behind a source.
+//
+//	go run ./examples/feedback
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"starts"
+	"starts/internal/engine"
+	"starts/internal/lang"
+)
+
+func main() {
+	cfg := engine.NewVectorConfig()
+	cfg.Native = engine.SubstringNative // the "vendor's" native query language
+	eng, err := starts.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := starts.NewSource("digital-library", eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	date := time.Date(1996, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, d := range []*starts.Document{
+		{
+			Linkage: "http://dl/gloss.ps", Title: "Text database discovery",
+			Body: "Choosing promising text databases for a query using compact collection summaries and document frequencies.",
+			Date: date,
+		},
+		{
+			Linkage: "http://dl/fusion.ps", Title: "The collection fusion problem",
+			Body: "Merging ranked retrieval results from several collections into a single ranking.",
+			Date: date,
+		},
+		{
+			Linkage: "http://dl/harvest.ps", Title: "Harvest gatherers and brokers",
+			Body: "A scalable discovery and access system with gatherers extracting indexing information.",
+			Date: date,
+		},
+		{
+			Linkage: "http://dl/soufflé.ps", Title: "Perfecting the cheese soufflé",
+			Body: "Oven temperatures, whisking, and the structural integrity of baked eggs.",
+			Date: date,
+		},
+	} {
+		if err := src.Add(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- Relevance feedback: "find me more like this abstract". ---------
+	abstract := "We study how a metasearcher chooses among many text databases " +
+		"using summaries of collection contents and per-term document frequencies."
+	q := starts.NewQuery()
+	q.Ranking, err = starts.ParseRanking(`list((document-text ` + lang.Quote(abstract) + `))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := src.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("relevance feedback for the GlOSS-style abstract:")
+	fmt.Printf("  expanded actual query: %s\n", res.ActualRanking)
+	for i, d := range res.Documents {
+		fmt.Printf("  %d. %6.4f  %s\n", i+1, d.RawScore, d.Title())
+	}
+
+	// --- Native query pass-through. --------------------------------------
+	q2 := starts.NewQuery()
+	q2.Filter, err = starts.ParseFilter(`(free-form-text "ranked retrieval")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := src.Search(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnative (free-form-text) query \"ranked retrieval\":")
+	for i, d := range res2.Documents {
+		fmt.Printf("  %d. %s\n", i+1, d.Title())
+	}
+
+	// The capability is advertised: free-form-text appears in the
+	// exported metadata only because the engine has a native handler.
+	md := src.Metadata()
+	fmt.Printf("\nmetadata advertises free-form-text: %v\n", md.SupportsField("free-form-text"))
+}

@@ -1,0 +1,92 @@
+// Hierarchy: cascading metasearch. Two departmental brokers each federate
+// their own sources; a university-level metasearcher federates the
+// brokers, harvesting their aggregated content summaries and routing
+// queries down the tree — the broker-hierarchy architecture of the GlOSS
+// line of work the paper builds on.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"starts"
+	"starts/internal/corpus"
+)
+
+func main() {
+	universe := corpus.Generate(corpus.Config{Seed: 21, NumSources: 4, DocsPerSource: 120})
+	ctx := context.Background()
+
+	// Department-level metasearchers: CS+medicine, law+gardening.
+	mkLeaf := func(name string, specs []corpus.SourceSpec) *starts.Broker {
+		ms := starts.NewMetasearcher(starts.MetasearcherOptions{})
+		for _, spec := range specs {
+			eng, err := starts.NewVectorEngine()
+			if err != nil {
+				log.Fatal(err)
+			}
+			src, err := starts.NewSource(spec.ID, eng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, d := range spec.Docs {
+				if err := src.Add(d); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ms.Add(starts.NewLocalConn(src, nil))
+		}
+		broker, err := ms.NewBroker(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return broker
+	}
+	sciences := mkLeaf("sciences-broker", universe.Sources[:2])
+	humanities := mkLeaf("humanities-broker", universe.Sources[2:])
+
+	// University level: sees two "sources", which are brokers.
+	university := starts.NewMetasearcher(starts.MetasearcherOptions{MaxSources: 1})
+	university.Add(sciences)
+	university.Add(humanities)
+	if err := university.Harvest(ctx); err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range university.SourceIDs() {
+		_, sum, _ := university.Harvested(id)
+		fmt.Printf("harvested %-18s aggregated %4d docs, %5d terms\n", id, sum.NumDocs, sum.TotalTerms())
+	}
+	fmt.Println()
+
+	for _, text := range []string{
+		`list((body-of-text "database") (body-of-text "query"))`,
+		`list((body-of-text "court") (body-of-text "tomato"))`,
+	} {
+		q := starts.NewQuery()
+		r, err := starts.ParseRanking(text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.Ranking = r
+		q.MaxResults = 4
+		ans, err := university.Search(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %s\n  routed to: %v\n", text, ans.Contacted)
+		for i, d := range ans.Documents {
+			fmt.Printf("  %d. %-50s %v\n", i+1, clip(d.Title(), 50), d.Sources)
+		}
+		fmt.Println()
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n-3] + "..."
+	}
+	return s
+}

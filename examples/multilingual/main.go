@@ -1,0 +1,93 @@
+// Multilingual: the l-string machinery of Section 4.1.1. An English and a
+// Spanish collection live behind one metasearcher; language-qualified
+// query terms ([es "datos"]) route to the right documents, and content
+// summaries with per-language groups steer source selection.
+//
+//	go run ./examples/multilingual
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"starts"
+	"starts/internal/lang"
+)
+
+func main() {
+	mkSource := func(id string, langs []lang.Tag, docs []*starts.Document) *starts.Source {
+		eng, err := starts.NewVectorEngine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := starts.NewSource(id, eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src.Languages = langs
+		for _, d := range docs {
+			if err := src.Add(d); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return src
+	}
+
+	date := time.Date(1996, 5, 1, 0, 0, 0, 0, time.UTC)
+	english := mkSource("english-papers", []lang.Tag{lang.EnglishUS}, []*starts.Document{
+		{
+			Linkage: "http://en/distributed.ps", Title: "Distributed data systems",
+			Body: "Distributed data systems and their behavior under load.",
+			Date: date, Languages: []lang.Tag{lang.EnglishUS},
+		},
+		{
+			Linkage: "http://en/behaviour.ps", Title: "Behaviour of British systems",
+			Body: "The behaviour of systems, spelled the British way.",
+			Date: date, Languages: []lang.Tag{lang.MustParseTag("en-GB")},
+		},
+	})
+	spanish := mkSource("biblioteca-es", []lang.Tag{lang.Spanish}, []*starts.Document{
+		{
+			Linkage: "http://es/datos.ps", Title: "Búsqueda de datos distribuidos",
+			Body: "Los sistemas de datos distribuidos requieren búsqueda eficiente de datos.",
+			Date: date, Languages: []lang.Tag{lang.Spanish},
+		},
+		{
+			Linkage: "http://es/redes.ps", Title: "Redes y servidores",
+			Body: "Redes, servidores y archivos de datos en bibliotecas digitales.",
+			Date: date, Languages: []lang.Tag{lang.Spanish},
+		},
+	})
+
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{})
+	ms.Add(starts.NewLocalConn(english, nil))
+	ms.Add(starts.NewLocalConn(spanish, nil))
+	ctx := context.Background()
+
+	run := func(label, ranking string) {
+		q := starts.NewQuery()
+		r, err := starts.ParseRanking(ranking)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.Ranking = r
+		answer, err := ms.Search(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  query: %s\n  contacted: %v\n", label, ranking, answer.Contacted)
+		for i, d := range answer.Documents {
+			fmt.Printf("  %d. %-40s %v\n", i+1, d.Title(), d.Sources)
+		}
+		fmt.Println()
+	}
+
+	// Unqualified terms default to en-US (the query default).
+	run("English query (default en-US):", `list((body-of-text "distributed"))`)
+	// Language-qualified Spanish terms match only Spanish documents.
+	run("Spanish query ([es ...]):", `list((body-of-text [es "datos"]))`)
+	// A dialect-qualified term: en-GB documents only.
+	run("British English query:", `list((body-of-text [en-GB "behaviour"]))`)
+}

@@ -1,0 +1,97 @@
+// Quickstart: build two in-process STARTS sources, run one metasearch
+// query across them, and print the merged rank.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"starts"
+)
+
+func main() {
+	// A source is an engine plus a document collection.
+	dbEngine, err := starts.NewVectorEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbSource, err := starts.NewSource("db-papers", dbEngine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range []*starts.Document{
+		{
+			Linkage: "http://db/dood.ps",
+			Title:   "A Comparison Between Deductive and Object-Oriented Database Systems",
+			Authors: []string{"Jeffrey D. Ullman"},
+			Body: "Deductive databases and object-oriented databases are compared " +
+				"with an emphasis on distributed query evaluation.",
+			Date: time.Date(1995, 6, 1, 0, 0, 0, 0, time.UTC),
+		},
+		{
+			Linkage: "http://db/lagunita.ps",
+			Title:   "Database Research: Achievements and Opportunities",
+			Authors: []string{"Silberschatz", "Stonebraker", "Ullman"},
+			Body: "Distributed databases, parallel databases and the distributed " +
+				"systems that run them: achievements and opportunities.",
+			Date: time.Date(1996, 9, 15, 0, 0, 0, 0, time.UTC),
+		},
+	} {
+		if err := dbSource.Add(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	webEngine, err := starts.NewBooleanEngine() // a Glimpse-like filter-only engine
+	if err != nil {
+		log.Fatal(err)
+	}
+	webSource, err := starts.NewSource("web-pages", webEngine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := webSource.Add(&starts.Document{
+		Linkage: "http://web/metasearch.html",
+		Title:   "What is a metasearcher?",
+		Body: "A metasearcher gives one query interface over many distributed " +
+			"search engines and databases.",
+		Date: time.Date(1996, 2, 2, 0, 0, 0, 0, time.UTC),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The metasearcher harvests metadata and summaries, selects sources,
+	// translates the query per source, and merges the ranks.
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{})
+	ms.Add(starts.NewLocalConn(dbSource, nil))
+	ms.Add(starts.NewLocalConn(webSource, nil))
+
+	q := starts.NewQuery()
+	q.Ranking, err = starts.ParseRanking(
+		`list((body-of-text "distributed") (body-of-text "databases"))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.MaxResults = 10
+
+	answer, err := ms.Search(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("contacted sources: %v\n\n", answer.Contacted)
+	for i, d := range answer.Documents {
+		fmt.Printf("%2d. %-70s  [%s]\n", i+1, d.Title(), d.Sources[0])
+		fmt.Printf("    %s\n", d.Linkage())
+	}
+	for id, oc := range answer.PerSource {
+		if oc.Report != nil && !oc.Report.Clean() {
+			fmt.Printf("\nnote: %s could not evaluate the full query (dropped ranking: %v)\n",
+				id, oc.Report.DroppedRanking)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module starts
+
+go 1.22

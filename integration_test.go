@@ -1,0 +1,224 @@
+package starts_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTool compiles one cmd/ binary into dir.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// freePort grabs an ephemeral TCP port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestCommandLineTools is the CLI smoke test: generate a corpus with
+// startsgen, serve it with startsd, query one source with startsq, and
+// metasearch across the resource with metasearch.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	startsgen := buildTool(t, dir, "startsgen")
+	startsd := buildTool(t, dir, "startsd")
+	startsq := buildTool(t, dir, "startsq")
+	metasearch := buildTool(t, dir, "metasearch")
+
+	// startsgen: corpus + workload files.
+	corpusPath := filepath.Join(dir, "corpus.json")
+	workloadPath := filepath.Join(dir, "workload.json")
+	out, err := exec.Command(startsgen,
+		"-out", corpusPath, "-workload", workloadPath,
+		"-sources", "3", "-docs", "40", "-queries", "5", "-seed", "9",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("startsgen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "3 sources, 120 documents") {
+		t.Errorf("startsgen output: %s", out)
+	}
+	if _, err := os.Stat(workloadPath); err != nil {
+		t.Fatalf("workload file missing: %v", err)
+	}
+
+	// startsd: serve the generated corpus.
+	addr := freePort(t)
+	server := exec.Command(startsd, "-addr", addr, "-corpus", corpusPath)
+	var serverOut bytes.Buffer
+	server.Stdout = &serverOut
+	server.Stderr = &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatalf("startsd: %v", err)
+	}
+	defer func() {
+		_ = server.Process.Kill()
+		_ = server.Wait()
+	}()
+	base := "http://" + addr
+	waitReady(t, base+"/resource")
+
+	// startsq: query one source directly.
+	srcURL := fmt.Sprintf("%s/sources/src-00-databases", base)
+	out, err = exec.Command(startsq,
+		"-source", srcURL,
+		"-ranking", `list((body-of-text "database"))`,
+		"-max", "3",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("startsq: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "documents from src-00-databases") {
+		t.Errorf("startsq output:\n%s", out)
+	}
+
+	// startsq -show metadata round trips through the SOIF decoder.
+	out, err = exec.Command(startsq, "-source", srcURL, "-show", "metadata").CombinedOutput()
+	if err != nil {
+		t.Fatalf("startsq metadata: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "@SMetaAttributes{") {
+		t.Errorf("startsq metadata output:\n%s", out)
+	}
+
+	// metasearch: full pipeline over the resource.
+	out, err = exec.Command(metasearch,
+		"-resources", base+"/resource",
+		"-ranking", `list((body-of-text "database") (body-of-text "query"))`,
+		"-select", "vsum", "-merge", "term-stats", "-max", "5",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("metasearch: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "selection (vGlOSS-Sum(0)):") || !strings.Contains(text, "contacted:") {
+		t.Errorf("metasearch output:\n%s", text)
+	}
+	if !strings.Contains(text, "http://src-00-databases/") {
+		t.Errorf("metasearch found no database documents:\n%s", text)
+	}
+}
+
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never became ready", url)
+}
+
+// TestExamplesRun executes every example program end to end.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds binaries; skipped in -short")
+	}
+	examples := []struct{ name, mustContain string }{
+		{"quickstart", "contacted sources:"},
+		{"federation", "selection order:"},
+		{"rankmerge", "merge strategy: term-stats"},
+		{"multilingual", "Spanish query"},
+		{"feedback", "relevance feedback"},
+		{"hierarchy", "routed to:"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+ex.name)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", ex.name, err, out)
+			}
+			if !strings.Contains(string(out), ex.mustContain) {
+				t.Errorf("example %s output missing %q:\n%s", ex.name, ex.mustContain, out)
+			}
+		})
+	}
+}
+
+// TestInteractiveShell drives startsh with piped commands.
+func TestInteractiveShell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shell smoke test builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	startsd := buildTool(t, dir, "startsd")
+	startsh := buildTool(t, dir, "startsh")
+
+	addr := freePort(t)
+	server := exec.Command(startsd, "-addr", addr, "-sources", "2", "-docs", "30", "-seed", "3", "-overlap", "0")
+	if err := server.Start(); err != nil {
+		t.Fatalf("startsd: %v", err)
+	}
+	defer func() {
+		_ = server.Process.Kill()
+		_ = server.Wait()
+	}()
+	base := "http://" + addr
+	waitReady(t, base+"/resource")
+
+	script := strings.Join([]string{
+		"sources",
+		"summary src-00-databases",
+		`select list((body-of-text "database"))`,
+		`q list((body-of-text "database"))`,
+		"stats",
+		"meta src-01-medicine",
+		"bogus command",
+		"quit",
+	}, "\n") + "\n"
+	cmd := exec.Command(startsh, "-resources", base+"/resource")
+	cmd.Stdin = strings.NewReader(script)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("startsh: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"harvested 2 sources",
+		"src-00-databases",
+		"documents 30",
+		"contacted",
+		"mean-latency",
+		"@SMetaAttributes{",
+		`unknown command "bogus"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shell output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package attr defines the STARTS attribute sets: the "Basic-1" document
+// fields and term modifiers of Section 4.1.1 of the proposal, and the
+// "MBasic-1" source-metadata attributes of Section 4.3.1. The tables in
+// this package mirror the paper's tables entry for entry, including the
+// Required and New flags, and are what the conformance tests check against.
+package attr
+
+import "strings"
+
+// Field names the portion of a document a query term applies to. Fields
+// correspond to the Z39.50/GILS "use attributes". Field names are
+// case-insensitive; the canonical spelling is the one in the paper.
+type Field string
+
+// The Basic-1 field set (Section 4.1.1).
+const (
+	// FieldTitle is the document title. Required.
+	FieldTitle Field = "title"
+	// FieldAuthor is the document author list.
+	FieldAuthor Field = "author"
+	// FieldBodyOfText is the main text of the document.
+	FieldBodyOfText Field = "body-of-text"
+	// FieldDocumentText passes whole documents in queries, for relevance
+	// feedback. New in STARTS.
+	FieldDocumentText Field = "document-text"
+	// FieldDateLastModified is the document modification timestamp.
+	// Required.
+	FieldDateLastModified Field = "date-last-modified"
+	// FieldAny matches any portion of the document; it is the default when
+	// a term carries no field. Required.
+	FieldAny Field = "any"
+	// FieldLinkage is the document URL, always returned with results so
+	// documents can be retrieved outside the protocol. Required.
+	FieldLinkage Field = "linkage"
+	// FieldLinkageType is the document MIME type.
+	FieldLinkageType Field = "linkage-type"
+	// FieldCrossReferenceLinkage lists the URLs mentioned in the document.
+	FieldCrossReferenceLinkage Field = "cross-reference-linkage"
+	// FieldLanguages lists the languages the document is written in.
+	FieldLanguages Field = "languages"
+	// FieldFreeFormText passes queries in a source's native query language,
+	// bypassing the STARTS query language. New in STARTS.
+	FieldFreeFormText Field = "free-form-text"
+)
+
+// FieldInfo describes one row of the paper's Basic-1 field table.
+type FieldInfo struct {
+	Field    Field
+	Required bool // sources must recognize the field
+	New      bool // added by STARTS, not in the GILS attribute set
+}
+
+// Basic1Fields returns the Basic-1 field table in the paper's order.
+func Basic1Fields() []FieldInfo {
+	return []FieldInfo{
+		{FieldTitle, true, false},
+		{FieldAuthor, false, false},
+		{FieldBodyOfText, false, false},
+		{FieldDocumentText, false, true},
+		{FieldDateLastModified, true, false},
+		{FieldAny, true, false},
+		{FieldLinkage, true, false},
+		{FieldLinkageType, false, false},
+		{FieldCrossReferenceLinkage, false, false},
+		{FieldLanguages, false, false},
+		{FieldFreeFormText, false, true},
+	}
+}
+
+// Normalize lower-cases a field name and maps the paper's long spelling
+// "date/time-last-modified" onto the canonical constant.
+func Normalize(f Field) Field {
+	s := strings.ToLower(string(f))
+	if s == "date/time-last-modified" {
+		return FieldDateLastModified
+	}
+	return Field(s)
+}
+
+// LookupField resolves a field name to its Basic-1 table entry.
+func LookupField(name string) (FieldInfo, bool) {
+	n := Normalize(Field(name))
+	for _, fi := range Basic1Fields() {
+		if fi.Field == n {
+			return fi, true
+		}
+	}
+	return FieldInfo{}, false
+}
+
+// IsRequired reports whether every STARTS source must recognize f.
+func (f Field) IsRequired() bool {
+	fi, ok := LookupField(string(f))
+	return ok && fi.Required
+}
+
+// String returns the canonical field spelling.
+func (f Field) String() string { return string(Normalize(f)) }
+
+// RequiredFields returns the fields every source must recognize.
+func RequiredFields() []Field {
+	var req []Field
+	for _, fi := range Basic1Fields() {
+		if fi.Required {
+			req = append(req, fi.Field)
+		}
+	}
+	return req
+}

@@ -1,0 +1,95 @@
+package attr
+
+import "strings"
+
+// MetaAttr names one of the MBasic-1 source-metadata attributes
+// (Section 4.3.1), which every source exports so that metasearchers can
+// rewrite queries for it and interpret its results.
+type MetaAttr string
+
+// The MBasic-1 metadata attribute set, borrowing from the Z39.50-1995
+// Exp-1 and GILS attribute sets.
+const (
+	MetaFieldsSupported           MetaAttr = "FieldsSupported"
+	MetaModifiersSupported        MetaAttr = "ModifiersSupported"
+	MetaFieldModifierCombinations MetaAttr = "FieldModifierCombinations"
+	MetaQueryPartsSupported       MetaAttr = "QueryPartsSupported"
+	MetaScoreRange                MetaAttr = "ScoreRange"
+	MetaRankingAlgorithmID        MetaAttr = "RankingAlgorithmID"
+	MetaTokenizerIDList           MetaAttr = "TokenizerIDList"
+	MetaSampleDatabaseResults     MetaAttr = "SampleDatabaseResults"
+	MetaStopWordList              MetaAttr = "StopWordList"
+	MetaTurnOffStopWords          MetaAttr = "TurnOffStopWords"
+	MetaSourceLanguages           MetaAttr = "SourceLanguages"
+	MetaSourceName                MetaAttr = "SourceName"
+	MetaLinkage                   MetaAttr = "Linkage"
+	MetaContentSummaryLinkage     MetaAttr = "ContentSummaryLinkage"
+	MetaDateChanged               MetaAttr = "DateChanged"
+	MetaDateExpires               MetaAttr = "DateExpires"
+	MetaAbstract                  MetaAttr = "Abstract"
+	MetaAccessConstraints         MetaAttr = "AccessConstraints"
+	MetaContact                   MetaAttr = "Contact"
+)
+
+// MetaAttrInfo describes one row of the paper's MBasic-1 table.
+type MetaAttrInfo struct {
+	Attr     MetaAttr
+	Required bool // sources must export a value
+	New      bool // added by STARTS, not in Exp-1/GILS
+}
+
+// MBasic1Attrs returns the MBasic-1 table in the paper's order.
+func MBasic1Attrs() []MetaAttrInfo {
+	return []MetaAttrInfo{
+		{MetaFieldsSupported, true, true},
+		{MetaModifiersSupported, true, true},
+		{MetaFieldModifierCombinations, true, true},
+		{MetaQueryPartsSupported, false, true},
+		{MetaScoreRange, true, true},
+		{MetaRankingAlgorithmID, true, true},
+		{MetaTokenizerIDList, false, true},
+		{MetaSampleDatabaseResults, true, true},
+		{MetaStopWordList, true, true},
+		{MetaTurnOffStopWords, true, true},
+		{MetaSourceLanguages, false, false},
+		{MetaSourceName, false, false},
+		{MetaLinkage, true, false},
+		{MetaContentSummaryLinkage, true, true},
+		{MetaDateChanged, false, false},
+		{MetaDateExpires, false, false},
+		{MetaAbstract, false, false},
+		{MetaAccessConstraints, false, false},
+		{MetaContact, false, false},
+	}
+}
+
+// LookupMetaAttr resolves a metadata attribute name case-insensitively,
+// accepting both the table spelling (SourceName) and the SOIF example
+// spelling (source-name).
+func LookupMetaAttr(name string) (MetaAttrInfo, bool) {
+	fold := foldMetaName(name)
+	for _, mi := range MBasic1Attrs() {
+		if foldMetaName(string(mi.Attr)) == fold {
+			return mi, true
+		}
+	}
+	return MetaAttrInfo{}, false
+}
+
+// foldMetaName lower-cases and strips the separators that differ between
+// the paper's table spelling and its SOIF examples.
+func foldMetaName(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, "-", "")
+	s = strings.ReplaceAll(s, "_", "")
+	return s
+}
+
+// SetName identifies an attribute set in queries and metadata.
+type SetName string
+
+// The attribute sets defined or referenced by STARTS.
+const (
+	SetBasic1  SetName = "basic-1"  // document fields and modifiers
+	SetMBasic1 SetName = "mbasic-1" // source metadata
+)

@@ -1,0 +1,49 @@
+package attr
+
+import "strings"
+
+// STARTS queries may use attribute sets other than Basic-1: the SQuery
+// DefaultAttributeSet names the set unqualified fields belong to, and the
+// specification describes "how to use other attribute sets for sources
+// covering different domains". This implementation registers one
+// additional document set, "dc-1", a Dublin-Core-flavored vocabulary (the
+// paper's §5 notes the Dublin Core shares Basic-1's intent), whose fields
+// map onto the Basic-1 fields engines actually index.
+
+// SetDC1 is the Dublin-Core-flavored document attribute set.
+const SetDC1 SetName = "dc-1"
+
+// dc1Fields maps dc-1 field names to their Basic-1 equivalents.
+var dc1Fields = map[string]Field{
+	"title":       FieldTitle,
+	"creator":     FieldAuthor,
+	"description": FieldBodyOfText,
+	"date":        FieldDateLastModified,
+	"identifier":  FieldLinkage,
+	"format":      FieldLinkageType,
+	"language":    FieldLanguages,
+	"relation":    FieldCrossReferenceLinkage,
+}
+
+// ResolveField interprets a field name within an attribute set, returning
+// the Basic-1 field engines evaluate. Unknown sets and unknown names pass
+// through Normalize unchanged (the engine will then treat unrecognized
+// fields as unsupported), so resolution never fails hard.
+func ResolveField(set SetName, f Field) Field {
+	switch SetName(strings.ToLower(string(set))) {
+	case SetDC1:
+		if mapped, ok := dc1Fields[strings.ToLower(string(f))]; ok {
+			return mapped
+		}
+	}
+	return Normalize(f)
+}
+
+// DC1Fields lists the dc-1 field names, for documentation and tests.
+func DC1Fields() []string {
+	names := make([]string, 0, len(dc1Fields))
+	for n := range dc1Fields {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,256 @@
+// Package client implements the metasearcher side of the STARTS protocol:
+// harvesting resource descriptions, source metadata, content summaries and
+// sample results, and submitting queries — over HTTP or directly against
+// in-process sources, behind one Conn interface so the metasearch core is
+// transport-neutral.
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// Conn is one queryable STARTS source as seen by a metasearcher.
+type Conn interface {
+	// SourceID identifies the source.
+	SourceID() string
+	// Metadata fetches the source's MBasic-1 metadata.
+	Metadata(ctx context.Context) (*meta.SourceMeta, error)
+	// Summary fetches the source's content summary.
+	Summary(ctx context.Context) (*meta.ContentSummary, error)
+	// Sample fetches the source's sample-database results.
+	Sample(ctx context.Context) ([]*source.SampleEntry, error)
+	// Query evaluates a query at the source.
+	Query(ctx context.Context, q *query.Query) (*result.Results, error)
+}
+
+// maxResponseBytes bounds response bodies read from remote sources.
+const maxResponseBytes = 64 << 20
+
+// Client fetches STARTS objects over HTTP.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient returns an HTTP STARTS client. A nil httpClient uses a
+// default with a 30-second timeout.
+func NewClient(httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{hc: httpClient}
+}
+
+func (c *Client) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+func (c *Client) post(ctx context.Context, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-soif")
+	return c.do(req)
+}
+
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading %s: %w", req.URL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: %s %s: %s: %s", req.Method, req.URL, resp.Status, truncate(data))
+	}
+	return data, nil
+}
+
+func truncate(b []byte) string {
+	const n = 200
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}
+
+// Resource fetches and decodes an @SResource description.
+func (c *Client) Resource(ctx context.Context, url string) (*meta.Resource, error) {
+	data, err := c.get(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	return meta.ParseResource(data)
+}
+
+// Metadata fetches and decodes an @SMetaAttributes object.
+func (c *Client) Metadata(ctx context.Context, url string) (*meta.SourceMeta, error) {
+	data, err := c.get(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	return meta.ParseMeta(data)
+}
+
+// Summary fetches and decodes an @SContentSummary object.
+func (c *Client) Summary(ctx context.Context, url string) (*meta.ContentSummary, error) {
+	data, err := c.get(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	return meta.ParseSummary(data)
+}
+
+// Sample fetches and decodes a sample-database results stream.
+func (c *Client) Sample(ctx context.Context, url string) ([]*source.SampleEntry, error) {
+	data, err := c.get(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	return source.ParseSample(data)
+}
+
+// Query submits a query to a source's query URL and decodes the results.
+func (c *Client) Query(ctx context.Context, url string, q *query.Query) (*result.Results, error) {
+	body, err := q.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.post(ctx, url, body)
+	if err != nil {
+		return nil, err
+	}
+	return result.Parse(data)
+}
+
+// HTTPConn is a Conn over a remote source whose endpoints were learned
+// from a resource description and source metadata.
+type HTTPConn struct {
+	client *Client
+	id     string
+	// MetadataURL is the entry point (from the resource's SourceList);
+	// the query/summary/sample URLs come from the fetched metadata.
+	metadataURL string
+
+	cached *meta.SourceMeta
+}
+
+// NewHTTPConn returns a Conn for the source with the given metadata URL.
+func NewHTTPConn(c *Client, sourceID, metadataURL string) *HTTPConn {
+	return &HTTPConn{client: c, id: sourceID, metadataURL: metadataURL}
+}
+
+// SourceID implements Conn.
+func (h *HTTPConn) SourceID() string { return h.id }
+
+// Metadata implements Conn, caching the fetched object for URL discovery.
+func (h *HTTPConn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
+	m, err := h.client.Metadata(ctx, h.metadataURL)
+	if err != nil {
+		return nil, err
+	}
+	h.cached = m
+	return m, nil
+}
+
+func (h *HTTPConn) meta(ctx context.Context) (*meta.SourceMeta, error) {
+	if h.cached != nil {
+		return h.cached, nil
+	}
+	return h.Metadata(ctx)
+}
+
+// Summary implements Conn.
+func (h *HTTPConn) Summary(ctx context.Context) (*meta.ContentSummary, error) {
+	m, err := h.meta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return h.client.Summary(ctx, m.ContentSummaryLinkage)
+}
+
+// Sample implements Conn.
+func (h *HTTPConn) Sample(ctx context.Context) ([]*source.SampleEntry, error) {
+	m, err := h.meta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return h.client.Sample(ctx, m.SampleDatabaseResults)
+}
+
+// Query implements Conn.
+func (h *HTTPConn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	m, err := h.meta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return h.client.Query(ctx, m.Linkage, q)
+}
+
+// Discover fetches a resource description and returns a Conn per source.
+func (c *Client) Discover(ctx context.Context, resourceURL string) ([]Conn, error) {
+	res, err := c.Resource(ctx, resourceURL)
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]Conn, 0, len(res.Entries))
+	for _, e := range res.Entries {
+		conns = append(conns, NewHTTPConn(c, e.SourceID, e.MetadataURL))
+	}
+	return conns, nil
+}
+
+// LocalConn is a Conn over an in-process source, for embedding and tests.
+type LocalConn struct {
+	src *source.Source
+	res *source.Resource // optional: enables multi-source queries
+}
+
+// NewLocalConn returns a Conn over an in-process source. res may be nil;
+// when set, queries naming additional sources route through the resource.
+func NewLocalConn(src *source.Source, res *source.Resource) *LocalConn {
+	return &LocalConn{src: src, res: res}
+}
+
+// SourceID implements Conn.
+func (l *LocalConn) SourceID() string { return l.src.ID() }
+
+// Metadata implements Conn.
+func (l *LocalConn) Metadata(context.Context) (*meta.SourceMeta, error) {
+	return l.src.Metadata(), nil
+}
+
+// Summary implements Conn.
+func (l *LocalConn) Summary(context.Context) (*meta.ContentSummary, error) {
+	return l.src.ContentSummary(), nil
+}
+
+// Sample implements Conn.
+func (l *LocalConn) Sample(context.Context) ([]*source.SampleEntry, error) {
+	return l.src.SampleResults()
+}
+
+// Query implements Conn.
+func (l *LocalConn) Query(_ context.Context, q *query.Query) (*result.Results, error) {
+	if len(q.Sources) > 0 && l.res != nil {
+		return l.res.Search(l.src.ID(), q)
+	}
+	return l.src.Search(q)
+}

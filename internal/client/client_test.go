@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"starts/internal/engine"
+	"starts/internal/index"
+	"starts/internal/query"
+	"starts/internal/server"
+	"starts/internal/source"
+)
+
+// startServer serves one single-source resource, counting requests.
+func startServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	eng, err := engine.New(engine.NewVectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := source.New("S1", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&index.Document{
+		Linkage: "http://s1/doc", Title: "Distributed databases",
+		Body: "A document about distributed databases.",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := source.NewResource()
+	if err := res.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	var hits atomic.Int64
+	ts := httptest.NewServer(nil)
+	inner := server.New(res, ts.URL)
+	ts.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		inner.ServeHTTP(w, r)
+	})
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestHTTPConnCachesMetadata(t *testing.T) {
+	ts, hits := startServer(t)
+	ctx := context.Background()
+	c := NewClient(ts.Client())
+	conn := NewHTTPConn(c, "S1", ts.URL+"/sources/S1/metadata")
+
+	if _, err := conn.Metadata(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := hits.Load()
+	// Summary and Query discover their URLs from the cached metadata: one
+	// extra request each, no metadata re-fetch.
+	if _, err := conn.Summary(ctx); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New()
+	q.Ranking, _ = query.ParseRanking(`list((body-of-text "databases"))`)
+	if _, err := conn.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load() - after; got != 2 {
+		t.Errorf("requests after metadata = %d, want 2 (summary + query)", got)
+	}
+	if conn.SourceID() != "S1" {
+		t.Errorf("SourceID = %s", conn.SourceID())
+	}
+	if _, err := conn.Sample(ctx); err != nil {
+		t.Errorf("Sample: %v", err)
+	}
+}
+
+func TestHTTPConnLazyMetadata(t *testing.T) {
+	ts, _ := startServer(t)
+	ctx := context.Background()
+	c := NewClient(ts.Client())
+	conn := NewHTTPConn(c, "S1", ts.URL+"/sources/S1/metadata")
+	// Summary without a prior Metadata call fetches metadata implicitly.
+	sum, err := conn.Summary(ctx)
+	if err != nil || sum.NumDocs != 1 {
+		t.Fatalf("Summary = %v, %v", sum, err)
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	ts, _ := startServer(t)
+	ctx := context.Background()
+	c := NewClient(ts.Client())
+	conns, err := c.Discover(ctx, ts.URL+"/resource")
+	if err != nil || len(conns) != 1 || conns[0].SourceID() != "S1" {
+		t.Fatalf("Discover = %v, %v", conns, err)
+	}
+	if _, err := c.Discover(ctx, ts.URL+"/sources/S1/metadata"); err == nil {
+		t.Error("metadata object accepted as resource")
+	}
+	if _, err := c.Discover(ctx, "http://127.0.0.1:1/resource"); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}
+
+func TestClientHTTPErrorsIncludeBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "synthetic failure detail", http.StatusTeapot)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.Client())
+	_, err := c.Resource(context.Background(), ts.URL+"/resource")
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure detail") {
+		t.Errorf("error lacks body detail: %v", err)
+	}
+}
+
+func TestClientBadURL(t *testing.T) {
+	c := NewClient(nil)
+	if _, err := c.Resource(context.Background(), "://not-a-url"); err == nil {
+		t.Error("bad URL accepted")
+	}
+	q := query.New()
+	q.Ranking, _ = query.ParseRanking(`list("x")`)
+	if _, err := c.Query(context.Background(), "://not-a-url", q); err == nil {
+		t.Error("bad query URL accepted")
+	}
+}
+
+func TestQueryMarshalErrorSurfaces(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.Client())
+	// An invalid query fails before any request is made.
+	if _, err := c.Query(context.Background(), ts.URL+"/sources/S1/query", query.New()); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestLocalConnWithoutResource(t *testing.T) {
+	eng, _ := engine.New(engine.NewVectorConfig())
+	s, _ := source.New("L1", eng)
+	if err := s.Add(&index.Document{Linkage: "http://l/1", Title: "t", Body: "words here"}); err != nil {
+		t.Fatal(err)
+	}
+	conn := NewLocalConn(s, nil)
+	q := query.New()
+	q.Ranking, _ = query.ParseRanking(`list((body-of-text "words"))`)
+	// Naming extra sources without a resource falls back to the single
+	// source.
+	q.Sources = []string{"L2"}
+	r, err := conn.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sources) != 1 || r.Sources[0] != "L1" {
+		t.Errorf("sources = %v", r.Sources)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"starts/internal/gloss"
+	"starts/internal/query"
+)
+
+// SourceStats accumulates a source's observed behavior across queries —
+// the "information from past searches" the paper credits SavvySearch with
+// using for source selection, and the ground for avoiding sources that
+// charge in latency or failures.
+type SourceStats struct {
+	// Queries is the number of queries sent.
+	Queries int
+	// Failures is the number of failed or timed-out queries.
+	Failures int
+	// MeanLatency is an exponentially weighted moving average of response
+	// time.
+	MeanLatency time.Duration
+	// DocsReturned is the total number of documents received.
+	DocsReturned int
+}
+
+// FailureRate returns the observed failure fraction.
+func (s SourceStats) FailureRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Failures) / float64(s.Queries)
+}
+
+// statsBook tracks per-source statistics under its own lock.
+type statsBook struct {
+	mu sync.Mutex
+	m  map[string]*SourceStats
+}
+
+func newStatsBook() *statsBook { return &statsBook{m: map[string]*SourceStats{}} }
+
+// ewmaAlpha is the smoothing factor of the latency average.
+const ewmaAlpha = 0.3
+
+func (b *statsBook) record(id string, elapsed time.Duration, failed bool, docs int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.m[id]
+	if s == nil {
+		s = &SourceStats{}
+		b.m[id] = s
+	}
+	s.Queries++
+	if failed {
+		s.Failures++
+	}
+	s.DocsReturned += docs
+	if s.MeanLatency == 0 {
+		s.MeanLatency = elapsed
+	} else {
+		s.MeanLatency = time.Duration(float64(s.MeanLatency)*(1-ewmaAlpha) + float64(elapsed)*ewmaAlpha)
+	}
+}
+
+func (b *statsBook) get(id string) (SourceStats, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.m[id]
+	if !ok {
+		return SourceStats{}, false
+	}
+	return *s, true
+}
+
+// Stats returns the accumulated statistics for a source.
+func (m *Metasearcher) Stats(id string) (SourceStats, bool) {
+	return m.stats.get(id)
+}
+
+// AdaptiveSelector wraps a content-based selector with past-performance
+// penalties, in the spirit of SavvySearch (§5): a source's estimated
+// goodness is discounted by its observed latency and failure rate, so the
+// metasearcher drifts away from slow or flaky sources even when their
+// summaries look good.
+type AdaptiveSelector struct {
+	// Inner supplies the content-based goodness.
+	Inner gloss.Selector
+	// Stats supplies past performance (typically Metasearcher.Stats).
+	Stats func(id string) (SourceStats, bool)
+	// LatencyHalfLife is the mean latency at which goodness is halved;
+	// zero disables the latency penalty.
+	LatencyHalfLife time.Duration
+	// FailureWeight scales the failure-rate penalty: goodness is
+	// multiplied by (1 - FailureWeight·failureRate). Zero disables it.
+	FailureWeight float64
+}
+
+// NewAdaptiveSelector wraps inner with this metasearcher's statistics and
+// moderate default penalties.
+func (m *Metasearcher) NewAdaptiveSelector(inner gloss.Selector) *AdaptiveSelector {
+	return &AdaptiveSelector{
+		Inner:           inner,
+		Stats:           m.Stats,
+		LatencyHalfLife: 2 * time.Second,
+		FailureWeight:   1,
+	}
+}
+
+// Name implements gloss.Selector.
+func (a *AdaptiveSelector) Name() string { return "adaptive(" + a.Inner.Name() + ")" }
+
+// Rank implements gloss.Selector.
+func (a *AdaptiveSelector) Rank(q *query.Query, sources []gloss.SourceInfo) []gloss.Ranked {
+	ranked := a.Inner.Rank(q, sources)
+	for i := range ranked {
+		st, ok := a.Stats(ranked[i].ID)
+		if !ok {
+			continue
+		}
+		penalty := 1.0
+		if a.LatencyHalfLife > 0 && st.MeanLatency > 0 {
+			penalty /= 1 + float64(st.MeanLatency)/float64(a.LatencyHalfLife)
+		}
+		if a.FailureWeight > 0 {
+			f := 1 - a.FailureWeight*st.FailureRate()
+			if f < 0 {
+				f = 0
+			}
+			penalty *= f
+		}
+		ranked[i].Goodness *= penalty
+	}
+	// Re-sort after the penalties.
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && less(ranked[j], ranked[j-1]); j-- {
+			ranked[j], ranked[j-1] = ranked[j-1], ranked[j]
+		}
+	}
+	return ranked
+}
+
+func less(a, b gloss.Ranked) bool {
+	if a.Goodness != b.Goodness {
+		return a.Goodness > b.Goodness
+	}
+	return a.ID < b.ID
+}
+
+// AutoRefresh re-harvests expired source metadata every interval until the
+// context ends, implementing the paper's "extract metadata and content
+// summaries from the sources periodically". Harvest errors are sent on
+// the returned channel when someone is listening and dropped otherwise.
+func (m *Metasearcher) AutoRefresh(ctx context.Context, interval time.Duration) <-chan error {
+	errs := make(chan error, 1)
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		defer close(errs)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if err := m.Harvest(ctx); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	return errs
+}

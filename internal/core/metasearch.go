@@ -1,0 +1,399 @@
+// Package core implements the metasearcher — the client the STARTS
+// protocol exists to serve. It performs the paper's three metasearch
+// tasks end to end: it harvests source metadata and content summaries
+// (caching them until their DateExpires), chooses the best sources for
+// each query with a GlOSS-style selector, translates the query per source
+// from the harvested metadata, evaluates it at the chosen sources
+// concurrently, and merges the returned ranks into a single answer,
+// optionally verifying dropped query parts client-side.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"starts/internal/client"
+	"starts/internal/gloss"
+	"starts/internal/merge"
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/translate"
+)
+
+// Options configure a metasearcher.
+type Options struct {
+	// Selector ranks sources per query; default vGlOSS Sum(0).
+	Selector gloss.Selector
+	// Merger fuses per-source ranks; default TermStats re-ranking.
+	Merger merge.Strategy
+	// MaxSources bounds how many sources a query contacts; 0 contacts
+	// every source with non-zero estimated goodness.
+	MaxSources int
+	// Timeout is the per-source query deadline; default 15s.
+	Timeout time.Duration
+	// PostFilter enables verification mode: results are re-checked
+	// against query parts a source could not evaluate.
+	PostFilter bool
+	// Now overrides the clock, for cache-expiry tests.
+	Now func() time.Time
+}
+
+// Metasearcher provides a unified query interface over many STARTS
+// sources.
+type Metasearcher struct {
+	opts Options
+
+	mu      sync.RWMutex
+	conns   map[string]client.Conn
+	order   []string
+	entries map[string]*entry
+
+	stats *statsBook
+}
+
+// entry is one source's harvested state.
+type entry struct {
+	meta      *meta.SourceMeta
+	summary   *meta.ContentSummary
+	harvested time.Time
+}
+
+// New returns a metasearcher with the given options.
+func New(opts Options) *Metasearcher {
+	if opts.Selector == nil {
+		opts.Selector = gloss.VSum{}
+	}
+	if opts.Merger == nil {
+		opts.Merger = merge.TermStats{}
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Metasearcher{
+		opts:    opts,
+		conns:   map[string]client.Conn{},
+		entries: map[string]*entry{},
+		stats:   newStatsBook(),
+	}
+}
+
+// SetSelector replaces the source-selection strategy.
+func (m *Metasearcher) SetSelector(s gloss.Selector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.opts.Selector = s
+}
+
+// SetMerger replaces the rank-merging strategy.
+func (m *Metasearcher) SetMerger(s merge.Strategy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.opts.Merger = s
+}
+
+// SetMaxSources changes how many sources a query contacts (0 = all
+// promising ones).
+func (m *Metasearcher) SetMaxSources(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.opts.MaxSources = n
+}
+
+// Add registers a source connection. Re-adding an ID replaces the
+// connection and invalidates its harvested state.
+func (m *Metasearcher) Add(c client.Conn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := c.SourceID()
+	if _, known := m.conns[id]; !known {
+		m.order = append(m.order, id)
+	}
+	m.conns[id] = c
+	delete(m.entries, id)
+}
+
+// SourceIDs lists registered sources in registration order.
+func (m *Metasearcher) SourceIDs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.order...)
+}
+
+// expired reports whether a harvested entry must be refreshed.
+func (m *Metasearcher) expired(e *entry) bool {
+	if e == nil {
+		return true
+	}
+	exp := e.meta.DateExpires
+	return !exp.IsZero() && m.opts.Now().After(exp)
+}
+
+// Harvest fetches metadata and content summaries for every source whose
+// cached copy is missing or expired (per its DateExpires), concurrently.
+// It returns the first error encountered, after attempting all sources.
+func (m *Metasearcher) Harvest(ctx context.Context) error {
+	for _, err := range m.harvestAll(ctx) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// harvestAll refreshes every stale source and returns the per-source
+// errors; healthy sources are cached regardless of their siblings.
+func (m *Metasearcher) harvestAll(ctx context.Context) map[string]error {
+	m.mu.RLock()
+	var stale []string
+	for _, id := range m.order {
+		if m.expired(m.entries[id]) {
+			stale = append(stale, id)
+		}
+	}
+	m.mu.RUnlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(stale))
+	for i, id := range stale {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			errs[i] = m.harvestOne(ctx, id)
+		}(i, id)
+	}
+	wg.Wait()
+	out := map[string]error{}
+	for i, id := range stale {
+		if errs[i] != nil {
+			out[id] = errs[i]
+		}
+	}
+	return out
+}
+
+func (m *Metasearcher) harvestOne(ctx context.Context, id string) error {
+	m.mu.RLock()
+	conn := m.conns[id]
+	m.mu.RUnlock()
+	if conn == nil {
+		return fmt.Errorf("core: unknown source %q", id)
+	}
+	md, err := conn.Metadata(ctx)
+	if err != nil {
+		return fmt.Errorf("core: harvesting metadata of %s: %w", id, err)
+	}
+	sum, err := conn.Summary(ctx)
+	if err != nil {
+		return fmt.Errorf("core: harvesting summary of %s: %w", id, err)
+	}
+	m.mu.Lock()
+	m.entries[id] = &entry{meta: md, summary: sum, harvested: m.opts.Now()}
+	m.mu.Unlock()
+	return nil
+}
+
+// Harvested returns the cached metadata and summary for a source.
+func (m *Metasearcher) Harvested(id string) (*meta.SourceMeta, *meta.ContentSummary, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.entries[id]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.meta, e.summary, true
+}
+
+// SourceOutcome records one contacted source's part of an answer.
+type SourceOutcome struct {
+	// Sent is the translated query actually submitted.
+	Sent *query.Query
+	// Report describes what translation dropped.
+	Report *translate.Report
+	// Results are the source's results (nil on error).
+	Results *result.Results
+	// Err is the per-source failure, if any; other sources still answer.
+	Err error
+	// Elapsed is the source's response time.
+	Elapsed time.Duration
+}
+
+// Answer is a merged metasearch result.
+type Answer struct {
+	// Documents is the fused rank, best first.
+	Documents []*result.Document
+	// Selected lists every source in estimated-goodness order, including
+	// those not contacted.
+	Selected []gloss.Ranked
+	// Contacted lists the sources queried, in selection order.
+	Contacted []string
+	// PerSource holds each contacted source's outcome.
+	PerSource map[string]*SourceOutcome
+	// Unverifiable lists dropped terms verification mode could not check.
+	Unverifiable []query.Term
+}
+
+// Search runs the full metasearch pipeline for a query. Sources must have
+// been harvested first (Search harvests lazily if needed). Per-source
+// failures are recorded in the answer, not returned as errors; Search only
+// fails if the query is invalid or no source could be contacted.
+func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	// Best-effort harvesting: an unreachable source must not block the
+	// healthy ones; its error is recorded in the answer instead.
+	harvestErrs := m.harvestAll(ctx)
+
+	m.mu.RLock()
+	opts := m.opts
+	infos := make([]gloss.SourceInfo, 0, len(m.order))
+	for _, id := range m.order {
+		e := m.entries[id]
+		if e == nil {
+			continue // not harvested; its error is in harvestErrs
+		}
+		infos = append(infos, gloss.SourceInfo{ID: id, Summary: e.summary, Meta: e.meta})
+	}
+	m.mu.RUnlock()
+	if len(infos) == 0 {
+		for id, err := range harvestErrs {
+			return nil, fmt.Errorf("core: no source could be harvested (%s: %w)", id, err)
+		}
+		return nil, fmt.Errorf("core: no sources registered")
+	}
+
+	ranked := opts.Selector.Rank(q, infos)
+	contacted := pick(ranked, opts.MaxSources)
+	if len(contacted) == 0 {
+		return nil, fmt.Errorf("core: no promising sources for query (of %d registered)", len(infos))
+	}
+
+	answer := &Answer{Selected: ranked, Contacted: contacted, PerSource: map[string]*SourceOutcome{}}
+	for id, err := range harvestErrs {
+		answer.PerSource[id] = &SourceOutcome{Err: fmt.Errorf("core: harvesting %s: %w", id, err)}
+	}
+	outcomes := m.fanOut(ctx, q, contacted, opts.Timeout)
+
+	var inputs []merge.SourceResult
+	for _, id := range contacted {
+		oc := outcomes[id]
+		answer.PerSource[id] = oc
+		if oc.Err != nil || oc.Results == nil {
+			continue
+		}
+		docs := oc.Results.Documents
+		if opts.PostFilter && oc.Report != nil && len(oc.Report.DroppedTerms) > 0 {
+			kept, unver := translate.PostFilter(docs, oc.Report.DroppedTerms)
+			oc.Results.Documents = kept
+			answer.Unverifiable = append(answer.Unverifiable, unver...)
+		}
+		md, sum, _ := m.Harvested(id)
+		inputs = append(inputs, merge.SourceResult{
+			SourceID: id, Meta: md, Summary: sum, Results: oc.Results,
+		})
+	}
+	if len(inputs) == 0 {
+		// Every contacted source failed.
+		for _, id := range contacted {
+			if oc := outcomes[id]; oc.Err != nil {
+				return nil, fmt.Errorf("core: all %d contacted sources failed, first error: %w", len(contacted), oc.Err)
+			}
+		}
+		return answer, nil
+	}
+
+	answer.Documents = opts.Merger.Merge(q, inputs)
+	if max := q.EffectiveMaxResults(); len(answer.Documents) > max {
+		answer.Documents = answer.Documents[:max]
+	}
+	return answer, nil
+}
+
+// pick keeps the sources worth contacting: positive estimated goodness,
+// capped at maxSources. If the selector assigns no positive goodness at
+// all (e.g. the random baseline), every source is eligible.
+func pick(ranked []gloss.Ranked, maxSources int) []string {
+	anyPositive := false
+	for _, r := range ranked {
+		if r.Goodness > 0 {
+			anyPositive = true
+			break
+		}
+	}
+	var ids []string
+	for _, r := range ranked {
+		if anyPositive && r.Goodness <= 0 {
+			continue
+		}
+		ids = append(ids, r.ID)
+		if maxSources > 0 && len(ids) >= maxSources {
+			break
+		}
+	}
+	return ids
+}
+
+// fanOut queries the chosen sources concurrently under the per-source
+// timeout.
+func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string, timeout time.Duration) map[string]*SourceOutcome {
+	outcomes := make(map[string]*SourceOutcome, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			oc := m.queryOne(ctx, q, id, timeout)
+			mu.Lock()
+			outcomes[id] = oc
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+func (m *Metasearcher) queryOne(ctx context.Context, q *query.Query, id string, timeout time.Duration) *SourceOutcome {
+	oc := &SourceOutcome{}
+	m.mu.RLock()
+	conn := m.conns[id]
+	e := m.entries[id]
+	m.mu.RUnlock()
+	if conn == nil || e == nil {
+		oc.Err = fmt.Errorf("core: source %q not harvested", id)
+		return oc
+	}
+	oc.Sent, oc.Report = translate.ForSource(q, e.meta)
+	if oc.Sent.Filter == nil && oc.Sent.Ranking == nil {
+		oc.Err = fmt.Errorf("core: nothing of the query survives translation for %s", id)
+		return oc
+	}
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := conn.Query(cctx, oc.Sent)
+	oc.Elapsed = time.Since(start)
+	if err != nil {
+		oc.Err = fmt.Errorf("core: querying %s: %w", id, err)
+		m.stats.record(id, oc.Elapsed, true, 0)
+		return oc
+	}
+	oc.Results = res
+	m.stats.record(id, oc.Elapsed, false, len(res.Documents))
+	return oc
+}
+
+// RankedIDs is a convenience: the IDs of a Ranked slice in order.
+func RankedIDs(rs []gloss.Ranked) []string {
+	ids := make([]string, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}

@@ -1,0 +1,245 @@
+// Package corpus generates the deterministic synthetic document
+// collections and query workloads the experiment harnesses run on. The
+// paper's sources (Dialog, CS-TR, web crawls) are proprietary or gone;
+// what the metasearch experiments actually require of them is controlled
+// topical skew — sources whose term distributions differ enough that
+// source selection has signal and rank merging has tension — which the
+// generator provides directly: each source draws most of its text from a
+// primary topic's Zipf-distributed vocabulary, a little from shared
+// general vocabulary, and a trickle from other topics.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"starts/internal/index"
+	"starts/internal/lang"
+)
+
+// Topic is a named vocabulary. Sampling is Zipfian: the i-th word has
+// probability proportional to 1/(i+1), so every topic has a few very
+// common words and a long tail.
+type Topic struct {
+	Name  string
+	Words []string
+	// Language tags documents whose primary topic this is.
+	Language lang.Tag
+}
+
+// BuiltinTopics returns the standard topic set: four English domains and
+// one Spanish, each with a curated head and a generated tail.
+func BuiltinTopics() []Topic {
+	return []Topic{
+		{Name: "databases", Words: vocab([]string{
+			"database", "query", "transaction", "index", "relational",
+			"distributed", "schema", "join", "optimizer", "concurrency",
+			"recovery", "storage", "tuple", "relation", "normalization",
+			"deductive", "object", "parallel", "replication", "locking",
+		}, "dat")},
+		{Name: "medicine", Words: vocab([]string{
+			"patient", "diagnosis", "treatment", "clinical", "disease",
+			"symptom", "therapy", "vaccine", "infection", "surgery",
+			"cardiology", "oncology", "dosage", "trial", "immune",
+			"pathology", "prognosis", "chronic", "acute", "remission",
+		}, "med")},
+		{Name: "law", Words: vocab([]string{
+			"court", "statute", "plaintiff", "defendant", "contract",
+			"liability", "tort", "appeal", "verdict", "jurisdiction",
+			"counsel", "evidence", "precedent", "damages", "injunction",
+			"negligence", "testimony", "litigation", "settlement", "clause",
+		}, "law")},
+		{Name: "gardening", Words: vocab([]string{
+			"tomato", "compost", "pruning", "soil", "harvest", "seedling",
+			"mulch", "watering", "perennial", "fertilizer", "greenhouse",
+			"cultivar", "germination", "trellis", "weeding", "bloom",
+			"rootstock", "grafting", "pollinator", "raised",
+		}, "gar")},
+		{Name: "datos", Language: lang.Spanish, Words: vocab([]string{
+			"datos", "consulta", "sistema", "distribuido", "busqueda",
+			"indice", "archivo", "red", "servidor", "biblioteca",
+			"documento", "texto", "coleccion", "fuente", "resultado",
+			"algoritmo", "modelo", "analisis", "recuperacion", "catalogo",
+		}, "esp")},
+	}
+}
+
+// vocab extends a curated head with generated tail words so each topic has
+// 120 distinct words.
+func vocab(head []string, prefix string) []string {
+	words := append([]string(nil), head...)
+	syllables := []string{"ra", "ne", "to", "li", "qua", "ver", "min", "sol", "tek", "dor"}
+	for i := 0; len(words) < 120; i++ {
+		w := prefix + syllables[i%len(syllables)] + syllables[(i/len(syllables))%len(syllables)] + fmt.Sprintf("%d", i%10)
+		words = append(words, w)
+	}
+	return words
+}
+
+// generalWords is shared, topic-neutral vocabulary present everywhere.
+var generalWords = []string{
+	"system", "approach", "result", "method", "analysis", "study",
+	"problem", "design", "evaluation", "performance", "model", "paper",
+	"experiment", "framework", "overview", "novel", "improved", "practical",
+}
+
+// authorPool provides document authors.
+var authorPool = []string{
+	"Ada Lovelace", "Edsger Dijkstra", "Grace Hopper", "Alan Turing",
+	"Barbara Liskov", "Donald Knuth", "Edgar Codd", "Jim Gray",
+	"Ana Garcia", "Luis Moreno", "Wei Chen", "Yuki Tanaka",
+}
+
+// Config controls generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumSources is the number of sources to generate; topics rotate, so
+	// several sources may share a primary topic (with different tails).
+	NumSources int
+	// DocsPerSource is each source's collection size.
+	DocsPerSource int
+	// BodyWords is the mean body length in words (default 80).
+	BodyWords int
+	// PrimaryBias is the fraction of body words drawn from the primary
+	// topic (default 0.7); the rest splits between general vocabulary and
+	// other topics.
+	PrimaryBias float64
+	// Overlap, in [0,1), is the fraction of each source's documents that
+	// are duplicated into the next source, exercising duplicate
+	// elimination (default 0).
+	Overlap float64
+}
+
+// SourceSpec is one generated source: its documents plus ground truth.
+type SourceSpec struct {
+	ID           string
+	PrimaryTopic string
+	Docs         []*index.Document
+}
+
+// Generated is a complete synthetic universe.
+type Generated struct {
+	Topics  []Topic
+	Sources []SourceSpec
+}
+
+// Generate builds a deterministic universe from the config.
+func Generate(cfg Config) *Generated {
+	if cfg.NumSources <= 0 {
+		cfg.NumSources = 4
+	}
+	if cfg.DocsPerSource <= 0 {
+		cfg.DocsPerSource = 100
+	}
+	if cfg.BodyWords <= 0 {
+		cfg.BodyWords = 80
+	}
+	if cfg.PrimaryBias <= 0 || cfg.PrimaryBias > 1 {
+		cfg.PrimaryBias = 0.7
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topics := BuiltinTopics()
+	g := &Generated{Topics: topics}
+
+	for si := 0; si < cfg.NumSources; si++ {
+		topic := topics[si%len(topics)]
+		spec := SourceSpec{
+			ID:           fmt.Sprintf("src-%02d-%s", si, topic.Name),
+			PrimaryTopic: topic.Name,
+		}
+		for di := 0; di < cfg.DocsPerSource; di++ {
+			spec.Docs = append(spec.Docs, genDoc(rng, topics, topic, spec.ID, di, cfg))
+		}
+		g.Sources = append(g.Sources, spec)
+	}
+	// Duplicate a fraction of each source's documents into the next
+	// source (same linkage: the same logical document held twice).
+	if cfg.Overlap > 0 && len(g.Sources) > 1 {
+		for si := range g.Sources {
+			next := &g.Sources[(si+1)%len(g.Sources)]
+			n := int(cfg.Overlap * float64(cfg.DocsPerSource))
+			for di := 0; di < n && di < len(g.Sources[si].Docs); di++ {
+				d := g.Sources[si].Docs[di]
+				cp := *d
+				next.Docs = append(next.Docs, &cp)
+			}
+		}
+	}
+	return g
+}
+
+// titleCase upper-cases the first letter of each space-separated word.
+func titleCase(s string) string {
+	b := []byte(s)
+	up := true
+	for i, c := range b {
+		if c == ' ' {
+			up = true
+			continue
+		}
+		if up && c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+		up = false
+	}
+	return string(b)
+}
+
+// zipfPick samples a word index with probability proportional to 1/(i+1).
+func zipfPick(rng *rand.Rand, n int) int {
+	// Inverse-CDF over harmonic weights, computed incrementally.
+	var h float64
+	for i := 0; i < n; i++ {
+		h += 1 / float64(i+1)
+	}
+	target := rng.Float64() * h
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += 1 / float64(i+1)
+		if acc >= target {
+			return i
+		}
+	}
+	return n - 1
+}
+
+func pickWord(rng *rand.Rand, words []string) string {
+	return words[zipfPick(rng, len(words))]
+}
+
+func genDoc(rng *rand.Rand, topics []Topic, primary Topic, sourceID string, di int, cfg Config) *index.Document {
+	titleLen := 4 + rng.Intn(5)
+	var title []string
+	for i := 0; i < titleLen; i++ {
+		title = append(title, pickWord(rng, primary.Words))
+	}
+	bodyLen := cfg.BodyWords/2 + rng.Intn(cfg.BodyWords)
+	var body []string
+	for i := 0; i < bodyLen; i++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.PrimaryBias:
+			body = append(body, pickWord(rng, primary.Words))
+		case r < cfg.PrimaryBias+0.2:
+			body = append(body, generalWords[rng.Intn(len(generalWords))])
+		default:
+			other := topics[rng.Intn(len(topics))]
+			body = append(body, pickWord(rng, other.Words))
+		}
+	}
+	doc := &index.Document{
+		Linkage: fmt.Sprintf("http://%s/doc-%04d", sourceID, di),
+		Title:   titleCase(strings.Join(title, " ")),
+		Authors: []string{authorPool[rng.Intn(len(authorPool))]},
+		Body:    strings.Join(body, " ") + ".",
+		Date: time.Date(1990+rng.Intn(7), time.Month(1+rng.Intn(12)),
+			1+rng.Intn(28), 0, 0, 0, 0, time.UTC),
+	}
+	if !primary.Language.IsZero() {
+		doc.Languages = []lang.Tag{primary.Language}
+	}
+	return doc
+}

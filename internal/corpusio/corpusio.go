@@ -1,0 +1,39 @@
+// Package corpusio persists generated corpora as JSON so the command-line
+// tools can share one universe across processes.
+package corpusio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"starts/internal/corpus"
+)
+
+// Save writes a generated universe to path as indented JSON.
+func Save(path string, g *corpus.Generated) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpusio: encoding corpus: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("corpusio: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a universe written by Save.
+func Load(path string) (*corpus.Generated, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpusio: reading %s: %w", path, err)
+	}
+	var g corpus.Generated
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("corpusio: decoding %s: %w", path, err)
+	}
+	if len(g.Sources) == 0 {
+		return nil, fmt.Errorf("corpusio: %s contains no sources", path)
+	}
+	return &g, nil
+}

@@ -1,0 +1,55 @@
+package corpusio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"starts/internal/corpus"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := corpus.Generate(corpus.Config{Seed: 3, NumSources: 2, DocsPerSource: 5})
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sources) != 2 || back.Sources[0].ID != g.Sources[0].ID {
+		t.Errorf("sources = %+v", back.Sources)
+	}
+	if !reflect.DeepEqual(back.Sources[1].Docs[4], g.Sources[1].Docs[4]) {
+		t.Error("documents changed in round trip")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"Topics":[],"Sources":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	g := corpus.Generate(corpus.Config{Seed: 3, NumSources: 1, DocsPerSource: 1})
+	if err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "f.json"), g); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,512 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"starts/internal/attr"
+	"starts/internal/index"
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/text"
+)
+
+// Config is an engine's capability profile: which query-language parts,
+// fields and modifiers it supports, its linguistics, and its (nominally
+// secret) ranking algorithm. Everything here surfaces in the source's
+// exported metadata, which is exactly what a metasearcher needs to use the
+// engine well.
+type Config struct {
+	// Analyzer fixes the engine's tokenizer, case policy and stemming.
+	Analyzer *text.Analyzer
+	// QueryParts says whether filter and/or ranking expressions are
+	// accepted; the other kind is silently ignored, per Example 7.
+	QueryParts meta.QueryParts
+	// Fields lists the optional fields supported beyond the required
+	// ones.
+	Fields []attr.Field
+	// Mods lists the supported modifiers.
+	Mods []attr.Modifier
+	// IllegalCombos lists field-modifier pairs that are NOT legal even
+	// though field and modifier are individually supported (e.g. stemming
+	// author names). All other supported pairs are legal.
+	IllegalCombos map[attr.Field][]attr.Modifier
+	// TurnOffStopWords says whether queries may disable stop-word
+	// elimination; when false, stop words are always dropped.
+	TurnOffStopWords bool
+	// Scorer is the ranking algorithm.
+	Scorer Scorer
+	// Thesaurus backs the thesaurus modifier, when supported.
+	Thesaurus *text.Thesaurus
+	// Native, when set, evaluates free-form-text terms: queries written
+	// in the engine's own (non-STARTS) query language, the escape hatch
+	// the Free-form-text field provides. It receives the native query
+	// string and the engine's index and returns the matching documents.
+	Native func(native string, ix *index.Index) (map[int]bool, error)
+}
+
+// NewVectorConfig returns the default full-featured profile: both query
+// parts, every Basic-1 optional text field, the common modifiers, TFIDF
+// scoring.
+func NewVectorConfig() Config {
+	return Config{
+		Analyzer:   text.NewAnalyzer(),
+		QueryParts: meta.PartsBoth,
+		Fields: []attr.Field{
+			attr.FieldAuthor, attr.FieldBodyOfText, attr.FieldDocumentText,
+			attr.FieldLinkageType, attr.FieldCrossReferenceLinkage, attr.FieldLanguages,
+		},
+		Mods: []attr.Modifier{
+			attr.ModLT, attr.ModLE, attr.ModEQ, attr.ModGE, attr.ModGT, attr.ModNE,
+			attr.ModStem, attr.ModPhonetic, attr.ModRightTruncation, attr.ModLeftTruncation,
+		},
+		TurnOffStopWords: true,
+		Scorer:           TFIDF{},
+	}
+}
+
+// NewBooleanConfig returns a Glimpse-like profile: filter expressions
+// only, a reduced modifier set, no way to keep stop words.
+func NewBooleanConfig() Config {
+	tok, _ := text.LookupTokenizer("Acme-2")
+	return Config{
+		Analyzer:   &text.Analyzer{Tokenizer: tok, Stop: text.MinimalStopWords(), Stemming: false},
+		QueryParts: meta.PartsFilter,
+		Fields:     []attr.Field{attr.FieldAuthor, attr.FieldBodyOfText},
+		Mods: []attr.Modifier{
+			attr.ModLT, attr.ModLE, attr.ModEQ, attr.ModGE, attr.ModGT, attr.ModNE,
+			attr.ModStem, attr.ModRightTruncation,
+		},
+		TurnOffStopWords: false,
+		Scorer:           RawTF{},
+	}
+}
+
+// Engine executes STARTS queries over an index under a capability profile.
+type Engine struct {
+	cfg Config
+	ix  *index.Index
+}
+
+// New returns an engine over a fresh index built with the config's
+// analyzer.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Analyzer == nil {
+		return nil, fmt.Errorf("engine: config has no analyzer")
+	}
+	if cfg.Scorer == nil {
+		return nil, fmt.Errorf("engine: config has no scorer")
+	}
+	if cfg.QueryParts == "" {
+		return nil, fmt.Errorf("engine: config has no query parts")
+	}
+	return &Engine{cfg: cfg, ix: index.New(cfg.Analyzer)}, nil
+}
+
+// Config returns the engine's capability profile.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Index returns the engine's index, for loading documents.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Add indexes a document.
+func (e *Engine) Add(d *index.Document) error {
+	_, err := e.ix.Add(d)
+	return err
+}
+
+// SupportsField reports whether the engine recognizes a field (required
+// fields always).
+func (e *Engine) SupportsField(f attr.Field) bool {
+	f = attr.Normalize(f)
+	if f.IsRequired() {
+		return true
+	}
+	if f == attr.FieldFreeFormText {
+		return e.cfg.Native != nil
+	}
+	for _, sf := range e.cfg.Fields {
+		if attr.Normalize(sf) == f {
+			return true
+		}
+	}
+	return false
+}
+
+// SupportsModifier reports whether the engine supports a modifier.
+func (e *Engine) SupportsModifier(m attr.Modifier) bool {
+	if m == attr.ModThesaurus {
+		return e.cfg.Thesaurus != nil
+	}
+	if m == attr.ModCaseSensitive {
+		// Only a case-preserving index can honor case-sensitive matching.
+		if !e.cfg.Analyzer.CaseSensitive {
+			return false
+		}
+	}
+	for _, sm := range e.cfg.Mods {
+		if sm == m {
+			return true
+		}
+	}
+	return m == attr.ModCaseSensitive && e.cfg.Analyzer.CaseSensitive
+}
+
+// AllowsCombination reports whether applying the modifier to the field is
+// legal at this engine.
+func (e *Engine) AllowsCombination(f attr.Field, m attr.Modifier) bool {
+	if !e.SupportsField(f) || !e.SupportsModifier(m) {
+		return false
+	}
+	for _, bad := range e.cfg.IllegalCombos[attr.Normalize(f)] {
+		if bad == m {
+			return false
+		}
+	}
+	// Comparisons only make sense on the date field.
+	if m.IsComparison() && m != attr.ModEQ {
+		return attr.Normalize(f) == attr.FieldDateLastModified
+	}
+	return true
+}
+
+// Search executes a query: it rewrites the query down to what the engine
+// supports (the "actual query"), evaluates the filter, scores the ranking
+// expression, and assembles the STARTS result with term statistics. It
+// never fails on unsupported query features — those are ignored, per the
+// protocol — only on malformed input (e.g. an unparsable date).
+func (e *Engine) Search(q *query.Query) (*result.Results, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	dropStop := q.DropStopWords || !e.cfg.TurnOffStopWords
+	opts := index.LookupOptions{
+		DropStopWords: dropStop,
+		Stop:          e.cfg.Analyzer.Stop,
+		DefaultLang:   q.DefaultLanguage,
+		Thesaurus:     e.cfg.Thesaurus,
+	}
+	if e.cfg.Native != nil {
+		opts.Native = func(native string) (map[int]bool, error) {
+			return e.cfg.Native(native, e.ix)
+		}
+	}
+
+	// Interpret term fields in the query's default attribute set (e.g.
+	// dc-1 "creator" resolves to the Basic-1 "author" this engine knows).
+	actualFilter, actualRanking := q.ResolveAttributeSet()
+	if !e.cfg.QueryParts.SupportsFilter() {
+		actualFilter = nil
+	} else {
+		actualFilter = e.rewrite(actualFilter, opts, false)
+	}
+	if !e.cfg.QueryParts.SupportsRanking() {
+		actualRanking = nil
+	} else {
+		actualRanking = e.rewrite(actualRanking, opts, true)
+	}
+
+	res := &result.Results{ActualFilter: actualFilter, ActualRanking: actualRanking}
+
+	// When nothing of the query survives (every term unsupported or
+	// eliminated), there is nothing to evaluate: the result is empty and
+	// the empty actual query tells the metasearcher why.
+	if actualFilter == nil && actualRanking == nil {
+		return res, nil
+	}
+
+	// The filter match set; no (surviving) filter means every document
+	// qualifies.
+	var matched map[int]bool
+	if actualFilter != nil {
+		set, err := e.ix.EvalFilter(actualFilter, opts)
+		if err != nil {
+			return nil, err
+		}
+		matched = set
+	} else {
+		matched = e.ix.AllDocs()
+	}
+
+	scored, ev, err := e.scoreDocs(matched, actualRanking, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Answer-specification: minimum score, sort, cap. A pure ranking
+	// query (no filter) qualifies only documents that match at least one
+	// ranking term; with a filter, the filter decides membership and a
+	// zero score merely ranks last.
+	kept := scored[:0]
+	for _, sd := range scored {
+		if actualRanking != nil {
+			if sd.score < q.MinScore {
+				continue
+			}
+			if actualFilter == nil && sd.score == 0 {
+				continue
+			}
+		}
+		kept = append(kept, sd)
+	}
+	e.sortDocs(kept, q.EffectiveSort())
+	if max := q.EffectiveMaxResults(); len(kept) > max {
+		kept = kept[:max]
+	}
+
+	for _, sd := range kept {
+		doc, err := e.ix.Doc(sd.id)
+		if err != nil {
+			return nil, err
+		}
+		// Term statistics are assembled only for returned documents; the
+		// discarded tail never pays for them.
+		if ev != nil {
+			sd.stats = ev.statsFor(sd.id, e)
+		}
+		res.Documents = append(res.Documents, e.answerDoc(doc, sd, q))
+	}
+	return res, nil
+}
+
+// scoredDoc pairs a document with its combined score and term statistics.
+type scoredDoc struct {
+	id    int
+	score float64
+	stats []result.TermStat
+}
+
+// scoreDocs computes each matched document's score for the ranking
+// expression, then finalizes scores onto the engine's reported scale. The
+// returned evaluator assembles TermStats lazily for the documents that
+// survive the answer specification.
+func (e *Engine) scoreDocs(matched map[int]bool, ranking query.Expr, opts index.LookupOptions) ([]*scoredDoc, *rankEvaluator, error) {
+	out := make([]*scoredDoc, 0, len(matched))
+	if ranking == nil {
+		for id := range matched {
+			out = append(out, &scoredDoc{id: id})
+		}
+		return out, nil, nil
+	}
+	ev, err := e.newRankEvaluator(ranking, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxScore := 0.0
+	for id := range matched {
+		sd := &scoredDoc{id: id}
+		sd.score = ev.score(ranking, id)
+		out = append(out, sd)
+		if sd.score > maxScore {
+			maxScore = sd.score
+		}
+	}
+	for _, sd := range out {
+		sd.score = e.cfg.Scorer.Finalize(sd.score, maxScore)
+	}
+	return out, ev, nil
+}
+
+// rankEvaluator caches term matches for one query execution.
+type rankEvaluator struct {
+	matches map[string]*index.TermMatch // keyed by term.String()
+	terms   []query.Term
+	n       int
+	ix      *index.Index
+	scorer  Scorer
+}
+
+func (e *Engine) newRankEvaluator(ranking query.Expr, opts index.LookupOptions) (*rankEvaluator, error) {
+	ev := &rankEvaluator{
+		matches: map[string]*index.TermMatch{},
+		n:       e.ix.NumDocs(),
+		ix:      e.ix,
+		scorer:  e.cfg.Scorer,
+	}
+	for _, t := range ranking.Terms(nil) {
+		key := t.String()
+		if _, ok := ev.matches[key]; ok {
+			continue
+		}
+		m, err := e.ix.Lookup(t, opts)
+		if err != nil {
+			return nil, err
+		}
+		ev.matches[key] = m
+		ev.terms = append(ev.terms, t)
+	}
+	return ev, nil
+}
+
+// termWeight returns the scorer weight of term t in document id.
+func (ev *rankEvaluator) termWeight(t query.Term, id int) float64 {
+	m := ev.matches[t.String()]
+	info := m.Docs[id]
+	if info == nil {
+		return 0
+	}
+	return ev.scorer.TermWeight(info.Freq, m.DocFreq(), ev.n, ev.ix.TokenCount(id))
+}
+
+// score evaluates the ranking expression for one document. Boolean-like
+// operators get the fuzzy-logic interpretation of Example 4 (and=min,
+// or=max); list is the weighted average; and-not zeroes documents matching
+// the right side; prox contributes only where the proximity holds.
+func (ev *rankEvaluator) score(expr query.Expr, id int) float64 {
+	switch n := expr.(type) {
+	case *query.TermExpr:
+		return ev.termWeight(n.Term, id) * n.EffectiveWeight()
+	case *query.Bin:
+		l, r := ev.score(n.L, id), ev.score(n.R, id)
+		switch n.Op {
+		case query.OpAnd:
+			return min(l, r)
+		case query.OpOr:
+			return max(l, r)
+		case query.OpAndNot:
+			if r > 0 {
+				return 0
+			}
+			return l
+		}
+	case *query.Prox:
+		l, r := ev.score(&query.TermExpr{Term: n.L.Term}, id), ev.score(&query.TermExpr{Term: n.R.Term}, id)
+		if l > 0 && r > 0 {
+			// Both terms present; approximate the positional check with
+			// presence (full positional prox applies in filters). A
+			// stricter engine could zero non-adjacent pairs here.
+			return min(l, r)
+		}
+		return 0
+	case *query.List:
+		sum, wsum := 0.0, 0.0
+		for _, it := range n.Items {
+			w := 1.0
+			if t, ok := it.(*query.TermExpr); ok {
+				w = t.EffectiveWeight()
+				sum += w * ev.termWeight(t.Term, id)
+			} else {
+				sum += ev.score(it, id)
+			}
+			wsum += w
+		}
+		if wsum == 0 {
+			return 0
+		}
+		return sum / wsum
+	}
+	return 0
+}
+
+// statsFor assembles the TermStats reported with a result document.
+func (ev *rankEvaluator) statsFor(id int, e *Engine) []result.TermStat {
+	var stats []result.TermStat
+	for _, t := range ev.terms {
+		m := ev.matches[t.String()]
+		info := m.Docs[id]
+		if info == nil {
+			continue
+		}
+		// Reported terms carry field and value but not weights/modifiers.
+		rt := query.Term{Field: t.EffectiveField(), Value: t.Value}
+		stats = append(stats, result.TermStat{
+			Term:    rt,
+			Freq:    info.Freq,
+			Weight:  round4(ev.termWeight(t, id)),
+			DocFreq: m.DocFreq(),
+		})
+	}
+	return stats
+}
+
+// sortDocs orders results per the query's sort specification.
+func (e *Engine) sortDocs(docs []*scoredDoc, keys []query.SortKey) {
+	sort.SliceStable(docs, func(i, j int) bool {
+		for _, k := range keys {
+			var cmp int
+			if k.Field == query.ScoreSortField {
+				cmp = compareFloat(docs[i].score, docs[j].score)
+			} else {
+				di, _ := e.ix.Doc(docs[i].id)
+				dj, _ := e.ix.Doc(docs[j].id)
+				cmp = strings.Compare(fieldSortValue(di, k.Field), fieldSortValue(dj, k.Field))
+			}
+			if cmp == 0 {
+				continue
+			}
+			if k.Ascending {
+				return cmp < 0
+			}
+			return cmp > 0
+		}
+		return docs[i].id < docs[j].id // stable tiebreak
+	})
+}
+
+func fieldSortValue(d *index.Document, f attr.Field) string {
+	if attr.Normalize(f) == attr.FieldDateLastModified {
+		if d.Date.IsZero() {
+			return ""
+		}
+		return d.Date.UTC().Format("2006-01-02")
+	}
+	return strings.ToLower(d.FieldText(f))
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// answerDoc builds the SQRDocument payload for one scored document.
+func (e *Engine) answerDoc(doc *index.Document, sd *scoredDoc, q *query.Query) *result.Document {
+	d := &result.Document{
+		RawScore:  round4(sd.score),
+		TermStats: sd.stats,
+		Size:      doc.SizeKB(),
+		Count:     e.ix.TokenCount(sd.id),
+		Fields:    map[attr.Field]string{},
+	}
+	for _, f := range q.EffectiveAnswerFields() {
+		if v := answerFieldValue(doc, f); v != "" {
+			d.Fields[f] = v
+		}
+	}
+	return d
+}
+
+func answerFieldValue(d *index.Document, f attr.Field) string {
+	if attr.Normalize(f) == attr.FieldDateLastModified {
+		if d.Date.IsZero() {
+			return ""
+		}
+		return d.Date.UTC().Format("2006-01-02")
+	}
+	return d.FieldText(f)
+}
+
+func round4(f float64) float64 {
+	return float64(int64(f*10000+0.5)) / 10000
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"starts/internal/attr"
+	"starts/internal/index"
+	"starts/internal/query"
+)
+
+// TestRelevanceFeedback exercises the Document-text field (§4.1.1): a
+// query passing a whole document ranks similar documents first, and the
+// echoed actual query shows the expansion.
+func TestRelevanceFeedback(t *testing.T) {
+	e := newEngine(t, NewVectorConfig())
+	// The feedback document resembles doc 1 (distributed databases).
+	feedback := "distributed systems and distributed databases working together on distributed query plans"
+	q := query.New()
+	r, err := query.ParseRanking(`list((document-text ` + quoted(feedback) + `))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Ranking = r
+	res, err := e.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Documents) == 0 {
+		t.Fatal("feedback query returned nothing")
+	}
+	if res.Documents[0].Linkage() != "http://x/lagunita.ps" {
+		t.Errorf("top doc = %s, want the distributed-databases paper", res.Documents[0].Linkage())
+	}
+	// The actual ranking is the expanded list, not the raw document.
+	actual := res.ActualRanking.String()
+	if strings.Contains(actual, "document-text") {
+		t.Errorf("actual query still contains document-text: %s", actual)
+	}
+	if !strings.Contains(actual, "distribut") {
+		t.Errorf("expansion missing dominant term: %s", actual)
+	}
+	// Expanded terms carry weights in (0,1].
+	for _, term := range res.ActualRanking.Terms(nil) {
+		w := term.EffectiveWeight()
+		if w <= 0 || w > 1 {
+			t.Errorf("expansion weight %g out of range for %s", w, term)
+		}
+	}
+}
+
+func quoted(s string) string { return `"` + s + `"` }
+
+func TestRelevanceFeedbackEdgeCases(t *testing.T) {
+	e := newEngine(t, NewVectorConfig())
+	// A feedback document with no collection vocabulary expands to
+	// nothing; the query collapses to an empty result.
+	q := query.New()
+	r, err := query.ParseRanking(`list((document-text "zzz qqq www entirely unseen vocabulary"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Ranking = r
+	res, err := e.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActualRanking != nil || len(res.Documents) != 0 {
+		t.Errorf("unmatchable feedback: actual %v docs %d", res.ActualRanking, len(res.Documents))
+	}
+	// Document-text in a filter has no Boolean semantics and is dropped.
+	q2 := query.New()
+	f, err := query.ParseFilter(`((document-text "distributed databases") and (author "Ullman"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2.Filter = f
+	res2, err := e.Search(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ActualFilter.String() != `(author "Ullman")` {
+		t.Errorf("actual filter = %s", res2.ActualFilter)
+	}
+	// Engines without document-text support drop the term entirely.
+	cfg := NewVectorConfig()
+	cfg.Fields = []attr.Field{attr.FieldBodyOfText}
+	e2 := newEngine(t, cfg)
+	q3 := query.New()
+	q3.Ranking, _ = query.ParseRanking(`list((document-text "distributed databases") (body-of-text "deductive"))`)
+	res3, err := e2.Search(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res3.ActualRanking.String(), "distribut") {
+		t.Errorf("unsupported document-text survived: %s", res3.ActualRanking)
+	}
+}
+
+// TestFreeFormText exercises the Free-form-text field (§4.1.1): an
+// informed metasearcher can pass queries in the source's native language.
+func TestFreeFormText(t *testing.T) {
+	cfg := NewVectorConfig()
+	cfg.Native = SubstringNative
+	e := newEngine(t, cfg)
+	q := query.New()
+	f, err := query.ParseFilter(`(free-form-text "object-oriented database")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Filter = f
+	res, err := e.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Documents) != 1 || res.Documents[0].Linkage() != "http://x/dood.ps" {
+		t.Errorf("native query results = %d", len(res.Documents))
+	}
+	// The actual query keeps the native term: the source did evaluate it.
+	if !strings.Contains(res.ActualFilter.String(), "free-form-text") {
+		t.Errorf("actual filter = %s", res.ActualFilter)
+	}
+
+	// Without a native handler the field is unsupported and the term is
+	// dropped.
+	e2 := newEngine(t, NewVectorConfig())
+	if e2.SupportsField(attr.FieldFreeFormText) {
+		t.Error("free-form-text supported without a handler")
+	}
+	res2, err := e2.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ActualFilter != nil {
+		t.Errorf("actual filter = %s, want dropped", res2.ActualFilter)
+	}
+}
+
+func TestSubstringNative(t *testing.T) {
+	e := newEngine(t, NewVectorConfig())
+	set, err := SubstringNative("OBJECT-ORIENTED", e.Index())
+	if err != nil || len(set) != 1 {
+		t.Errorf("SubstringNative = %v, %v", set, err)
+	}
+	empty, err := SubstringNative("   ", e.Index())
+	if err != nil || len(empty) != 0 {
+		t.Errorf("blank native query = %v, %v", empty, err)
+	}
+}
+
+// TestNativeErrorPropagates ensures a failing native handler surfaces.
+func TestNativeErrorPropagates(t *testing.T) {
+	cfg := NewVectorConfig()
+	cfg.Native = func(string, *index.Index) (map[int]bool, error) {
+		return nil, errTest
+	}
+	e := newEngine(t, cfg)
+	q := query.New()
+	q.Filter, _ = query.ParseFilter(`(free-form-text "whatever")`)
+	if _, err := e.Search(q); err == nil {
+		t.Error("native error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "native backend down" }

@@ -1,0 +1,103 @@
+// Package engine implements STARTS search engines: query execution over an
+// inverted index under an engine-specific capability profile and a
+// deliberately engine-specific scoring algorithm. The heterogeneity that
+// makes metasearching hard — engines that only do Boolean retrieval,
+// engines with incompatible score ranges, engines that silently ignore
+// query parts they do not support — is modeled explicitly here.
+package engine
+
+import (
+	"math"
+)
+
+// Scorer is a ranking algorithm. Real engines keep theirs secret; STARTS
+// only asks that they be named (RankingAlgorithmID) and that their score
+// range be published. The three built-in scorers reproduce the
+// incompatibilities Section 3.2 describes: scores in [0,1], scores scaled
+// so the top document gets 1000, and unbounded raw-frequency scores.
+type Scorer interface {
+	// ID is the RankingAlgorithmID exported in source metadata.
+	ID() string
+	// Range returns the score bounds exported as ScoreRange.
+	Range() (min, max float64)
+	// TermWeight returns the weight of a term in a document given the
+	// term frequency, the term's document frequency, the collection size
+	// and the document length in tokens.
+	TermWeight(tf, df, n, docLen int) float64
+	// Finalize maps a combined raw score onto the engine's reported
+	// scale; maxScore is the highest combined score in the result set
+	// (for top-document-scaled engines).
+	Finalize(score, maxScore float64) float64
+}
+
+// TFIDF is the "Acme-1" scorer: a tf·idf weighting with length
+// normalization whose reported scores are squashed into [0,1).
+type TFIDF struct{}
+
+// ID implements Scorer.
+func (TFIDF) ID() string { return "Acme-1" }
+
+// Range implements Scorer.
+func (TFIDF) Range() (float64, float64) { return 0, 1 }
+
+// TermWeight implements Scorer: (1+ln tf)·ln(1+n/df), normalized by the
+// square root of the document length.
+func (TFIDF) TermWeight(tf, df, n, docLen int) float64 {
+	if tf == 0 || df == 0 || n == 0 {
+		return 0
+	}
+	w := (1 + math.Log(float64(tf))) * math.Log(1+float64(n)/float64(df))
+	if docLen > 1 {
+		w /= math.Sqrt(float64(docLen))
+	}
+	return w
+}
+
+// Finalize implements Scorer: s/(1+s) squashes into [0,1).
+func (TFIDF) Finalize(score, _ float64) float64 {
+	if score <= 0 {
+		return 0
+	}
+	return score / (1 + score)
+}
+
+// TopK is the "Acme-2" scorer: the same underlying weighting as TFIDF but
+// reported on a 0–1000 scale where the best document of every result set
+// scores exactly 1000 — the paper's example of why raw scores from
+// different sources must not be compared directly.
+type TopK struct{}
+
+// ID implements Scorer.
+func (TopK) ID() string { return "Acme-2" }
+
+// Range implements Scorer.
+func (TopK) Range() (float64, float64) { return 0, 1000 }
+
+// TermWeight implements Scorer.
+func (TopK) TermWeight(tf, df, n, docLen int) float64 {
+	return TFIDF{}.TermWeight(tf, df, n, docLen)
+}
+
+// Finalize implements Scorer.
+func (TopK) Finalize(score, maxScore float64) float64 {
+	if maxScore <= 0 || score <= 0 {
+		return 0
+	}
+	return 1000 * score / maxScore
+}
+
+// RawTF is the "Acme-3" scorer: the document score is simply the summed
+// term frequency, unbounded above. Its exported ScoreRange is [0,+Inf).
+type RawTF struct{}
+
+// ID implements Scorer.
+func (RawTF) ID() string { return "Acme-3" }
+
+// Range implements Scorer.
+func (RawTF) Range() (float64, float64) { return 0, math.Inf(1) }
+
+// TermWeight implements Scorer.
+func (RawTF) TermWeight(tf, _, _, _ int) float64 { return float64(tf) }
+
+// Finalize implements Scorer.
+func (RawTF) Finalize(score, _ float64) float64 { return score }

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: every scorer's finalized scores stay within its advertised
+// ScoreRange — the invariant metasearchers depend on when normalizing.
+func TestQuickScorerRangeHonesty(t *testing.T) {
+	scorers := []Scorer{TFIDF{}, TopK{}, RawTF{}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, s := range scorers {
+			lo, hi := s.Range()
+			n := 1 + r.Intn(10000)
+			docLen := 1 + r.Intn(5000)
+			df := 1 + r.Intn(n)
+			tf := r.Intn(200)
+			w := s.TermWeight(tf, df, n, docLen)
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return false
+			}
+			maxScore := w + r.Float64()*10
+			got := s.Finalize(w, maxScore)
+			if got < lo || got > hi || math.IsNaN(got) {
+				t.Logf("%s: Finalize(%g, %g) = %g outside [%g, %g]", s.ID(), w, maxScore, got, lo, hi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScorerEdgeCases(t *testing.T) {
+	for _, s := range []Scorer{TFIDF{}, TopK{}, RawTF{}} {
+		if w := s.TermWeight(0, 10, 100, 50); w != 0 {
+			t.Errorf("%s: zero tf weight = %g", s.ID(), w)
+		}
+		if got := s.Finalize(0, 0); got != 0 {
+			t.Errorf("%s: Finalize(0,0) = %g", s.ID(), got)
+		}
+	}
+	if (TFIDF{}).TermWeight(5, 0, 100, 50) != 0 {
+		t.Error("TFIDF with zero df should be 0")
+	}
+	// TopK pins the maximum to exactly 1000.
+	if got := (TopK{}).Finalize(7.5, 7.5); got != 1000 {
+		t.Errorf("TopK top = %g", got)
+	}
+	// TFIDF monotone in tf.
+	a := (TFIDF{}).TermWeight(1, 10, 1000, 100)
+	b := (TFIDF{}).TermWeight(10, 10, 1000, 100)
+	if b <= a {
+		t.Errorf("TFIDF not monotone in tf: %g vs %g", a, b)
+	}
+	// Rarer terms weigh more.
+	rare := (TFIDF{}).TermWeight(3, 2, 1000, 100)
+	common := (TFIDF{}).TermWeight(3, 500, 1000, 100)
+	if rare <= common {
+		t.Errorf("TFIDF idf inverted: rare %g vs common %g", rare, common)
+	}
+	// IDs are distinct (they are RankingAlgorithmIDs).
+	ids := map[string]bool{}
+	for _, s := range []Scorer{TFIDF{}, TopK{}, RawTF{}} {
+		if ids[s.ID()] {
+			t.Errorf("duplicate scorer ID %s", s.ID())
+		}
+		ids[s.ID()] = true
+	}
+	// RawTF is honestly unbounded.
+	if _, hi := (RawTF{}).Range(); !math.IsInf(hi, 1) {
+		t.Errorf("RawTF max = %g, want +Inf", hi)
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"starts/internal/attr"
+	"starts/internal/corpus"
+	"starts/internal/eval"
+	"starts/internal/gloss"
+	"starts/internal/index"
+	"starts/internal/lang"
+	"starts/internal/meta"
+	"starts/internal/query"
+)
+
+// GranularityResult is the summary-granularity ablation (an X2 variant):
+// selection quality with field-qualified summaries versus summaries
+// collapsed to a single unqualified vocabulary.
+type GranularityResult struct {
+	Config SelectionConfig
+	// MeanR1 per summary granularity.
+	FieldQualifiedR1 float64
+	CollapsedR1      float64
+	// Bytes compares the two summary encodings.
+	FieldQualifiedBytes int
+	CollapsedBytes      int
+}
+
+// collapseSummary merges a field-qualified summary into one unqualified
+// group, aggregating postings and document frequencies by term. Document
+// frequencies become upper bounds (a document counts once per field it
+// holds the term in).
+func collapseSummary(c *meta.ContentSummary) *meta.ContentSummary {
+	agg := map[string]*meta.TermInfo{}
+	var order []string
+	for _, g := range c.Groups {
+		for _, ti := range g.Terms {
+			if cur, ok := agg[ti.Term]; ok {
+				cur.Postings += ti.Postings
+				cur.DocFreq += ti.DocFreq
+				continue
+			}
+			cp := ti
+			agg[ti.Term] = &cp
+			order = append(order, ti.Term)
+		}
+	}
+	out := &meta.ContentSummary{
+		Stemming:          c.Stemming,
+		StopWordsIncluded: c.StopWordsIncluded,
+		CaseSensitive:     c.CaseSensitive,
+		FieldsQualified:   false,
+		NumDocs:           c.NumDocs,
+		Groups:            []meta.SummaryGroup{{Field: attr.FieldAny}},
+	}
+	for _, term := range order {
+		out.Groups[0].Terms = append(out.Groups[0].Terms, *agg[term])
+	}
+	out.SortTerms()
+	return out
+}
+
+// RunGranularity measures the ablation.
+func RunGranularity(cfg SelectionConfig) (*GranularityResult, error) {
+	g := corpus.Generate(corpus.Config{
+		Seed: cfg.Seed, NumSources: cfg.NumSources, DocsPerSource: cfg.DocsPerSource,
+	})
+	fleet, err := BuildFleet(g, ProfileVector)
+	if err != nil {
+		return nil, err
+	}
+	res := &GranularityResult{Config: cfg}
+	qualified := make([]gloss.SourceInfo, len(fleet.Sources))
+	collapsed := make([]gloss.SourceInfo, len(fleet.Sources))
+	for i, s := range fleet.Sources {
+		full := s.ContentSummary()
+		coll := collapseSummary(full)
+		qualified[i] = gloss.SourceInfo{ID: s.ID(), Summary: full}
+		collapsed[i] = gloss.SourceInfo{ID: s.ID(), Summary: coll}
+		fb, err := full.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		cb, err := coll.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		res.FieldQualifiedBytes += len(fb)
+		res.CollapsedBytes += len(cb)
+	}
+	workload := corpus.Workload(g, corpus.WorkloadConfig{
+		Seed: cfg.Seed + 1, NumQueries: cfg.NumQueries, FilterFraction: -1,
+		MaxResults: cfg.DocsPerSource,
+	})
+	counted := 0
+	for _, wq := range workload {
+		merit := map[string]float64{}
+		total := 0.0
+		for _, s := range fleet.Sources {
+			r, err := s.Search(wq.Query)
+			if err != nil {
+				return nil, err
+			}
+			merit[s.ID()] = float64(len(r.Documents))
+			total += merit[s.ID()]
+		}
+		if total == 0 {
+			continue
+		}
+		counted++
+		res.FieldQualifiedR1 += eval.Rn(orderOf((gloss.VSum{}).Rank(wq.Query, qualified)), merit, 1)
+		res.CollapsedR1 += eval.Rn(orderOf((gloss.VSum{}).Rank(wq.Query, collapsed)), merit, 1)
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("experiments: granularity workload produced no usable queries")
+	}
+	res.FieldQualifiedR1 /= float64(counted)
+	res.CollapsedR1 /= float64(counted)
+	return res, nil
+}
+
+// Table renders the granularity ablation.
+func (r *GranularityResult) Table() *Table {
+	return &Table{
+		ID:      "X2a",
+		Caption: "ablation: summary granularity (vGlOSS-Sum R1)",
+		Header:  []string{"summary form", "mean R1", "total bytes"},
+		Rows: [][]string{
+			{"field-qualified", f3(r.FieldQualifiedR1), fmt.Sprintf("%d", r.FieldQualifiedBytes)},
+			{"collapsed", f3(r.CollapsedR1), fmt.Sprintf("%d", r.CollapsedBytes)},
+		},
+	}
+}
+
+// ProxAblationResult compares true positional proximity evaluation with
+// the AND approximation a non-positional engine would have to fall back
+// to (treating prox as mere co-occurrence).
+type ProxAblationResult struct {
+	Queries int
+	// MeanPrecision is |prox ∩ and| / |and|: how much of the AND
+	// approximation is actually proximity-correct.
+	MeanPrecision float64
+	// MeanSelectivity is |prox| / |and|: how much the positional check
+	// narrows the answer.
+	MeanSelectivity float64
+}
+
+// RunProxAblation measures how lossy the co-occurrence approximation of
+// prox is on a synthetic collection, justifying positional postings.
+func RunProxAblation(seed int64, docs, queries int) (*ProxAblationResult, error) {
+	g := corpus.Generate(corpus.Config{Seed: seed, NumSources: 1, DocsPerSource: docs})
+	fleet, err := BuildFleet(g, ProfileVector)
+	if err != nil {
+		return nil, err
+	}
+	ix := fleet.Sources[0].Engine().Index()
+	topic := g.Topics[0]
+	res := &ProxAblationResult{}
+	opts := index.LookupOptions{DefaultLang: lang.EnglishUS}
+	counted := 0
+	for i := 0; i < queries; i++ {
+		w1 := topic.Words[i%15]
+		w2 := topic.Words[(i*7+3)%15]
+		if w1 == w2 {
+			continue
+		}
+		proxExpr, err := query.ParseFilter(fmt.Sprintf(
+			`((body-of-text "%s") prox[2,F] (body-of-text "%s"))`, w1, w2))
+		if err != nil {
+			return nil, err
+		}
+		andExpr, err := query.ParseFilter(fmt.Sprintf(
+			`((body-of-text "%s") and (body-of-text "%s"))`, w1, w2))
+		if err != nil {
+			return nil, err
+		}
+		proxSet, err := ix.EvalFilter(proxExpr, opts)
+		if err != nil {
+			return nil, err
+		}
+		andSet, err := ix.EvalFilter(andExpr, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(andSet) == 0 {
+			continue
+		}
+		counted++
+		res.MeanPrecision += float64(len(proxSet)) / float64(len(andSet))
+		res.MeanSelectivity += float64(len(proxSet)) / float64(len(andSet))
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("experiments: prox ablation found no co-occurring pairs")
+	}
+	res.Queries = counted
+	res.MeanPrecision /= float64(counted)
+	res.MeanSelectivity /= float64(counted)
+	return res, nil
+}
+
+// Table renders the prox ablation.
+func (r *ProxAblationResult) Table() *Table {
+	return &Table{
+		ID:      "X4a",
+		Caption: fmt.Sprintf("ablation: prox via positions vs AND co-occurrence approximation (%d term pairs)", r.Queries),
+		Header:  []string{"measure", "value"},
+		Rows: [][]string{
+			{"fraction of AND matches that satisfy prox[2,F]", f3(r.MeanPrecision)},
+			{"i.e. AND over-answers by a factor of", f2(1 / max1(r.MeanSelectivity))},
+		},
+	}
+}
+
+func max1(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}

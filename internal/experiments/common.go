@@ -1,0 +1,135 @@
+// Package experiments implements the claim-validation experiments X1-X8
+// of DESIGN.md: runnable harnesses that measure, on deterministic
+// synthetic universes, the claims the STARTS paper makes qualitatively —
+// content summaries are tiny but sufficient for source selection, raw
+// scores are not mergeable but TermStats are, metadata-driven translation
+// lets one query run everywhere, and so on. Each experiment returns a
+// table that EXPERIMENTS.md records and `go test` asserts directionally.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"starts/internal/corpus"
+	"starts/internal/engine"
+	"starts/internal/source"
+)
+
+// Fleet is a set of live sources built from a generated universe.
+type Fleet struct {
+	Universe *corpus.Generated
+	Sources  []*source.Source
+	byID     map[string]*source.Source
+}
+
+// Get returns a fleet source by ID.
+func (f *Fleet) Get(id string) *source.Source { return f.byID[id] }
+
+// Profile names an engine profile used when building fleets.
+type Profile int
+
+// The engine profiles fleets rotate through.
+const (
+	// ProfileVector is the full-featured TFIDF engine.
+	ProfileVector Profile = iota
+	// ProfileTopK is a full engine with 0-1000 top-document scoring.
+	ProfileTopK
+	// ProfileRawTF is a full engine with unbounded raw-frequency scores.
+	ProfileRawTF
+	// ProfileBoolean is the filter-only Glimpse-like engine.
+	ProfileBoolean
+)
+
+func (p Profile) config() engine.Config {
+	switch p {
+	case ProfileTopK:
+		cfg := engine.NewVectorConfig()
+		cfg.Scorer = engine.TopK{}
+		return cfg
+	case ProfileRawTF:
+		cfg := engine.NewVectorConfig()
+		cfg.Scorer = engine.RawTF{}
+		return cfg
+	case ProfileBoolean:
+		return engine.NewBooleanConfig()
+	default:
+		return engine.NewVectorConfig()
+	}
+}
+
+// BuildFleet indexes a universe into live sources, assigning profiles
+// round-robin (pass a single profile for a homogeneous fleet).
+func BuildFleet(g *corpus.Generated, profiles ...Profile) (*Fleet, error) {
+	if len(profiles) == 0 {
+		profiles = []Profile{ProfileVector}
+	}
+	f := &Fleet{Universe: g, byID: map[string]*source.Source{}}
+	for i, spec := range g.Sources {
+		cfg := profiles[i%len(profiles)].config()
+		eng, err := engine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := source.New(spec.ID, eng)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddAll(spec.Docs); err != nil {
+			return nil, fmt.Errorf("experiments: indexing %s: %w", spec.ID, err)
+		}
+		f.Sources = append(f.Sources, s)
+		f.byID[spec.ID] = s
+	}
+	return f, nil
+}
+
+// Table is a rendered experiment result: a caption, a header row and data
+// rows, rendered as aligned plain text for EXPERIMENTS.md.
+type Table struct {
+	ID      string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Caption)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

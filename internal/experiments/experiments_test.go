@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small configurations keep the unit tests fast; the full EXPERIMENTS.md
+// configurations run from the root-level harness.
+
+func smallSelection() SelectionConfig {
+	return SelectionConfig{Seed: 11, NumSources: 6, DocsPerSource: 60, NumQueries: 25, MaxN: 3}
+}
+
+func smallMerge() MergeConfig {
+	return MergeConfig{Seed: 23, NumSources: 3, DocsPerSource: 60, NumQueries: 15, TopK: 10}
+}
+
+// TestExperimentX2Direction asserts the paper's source-selection claim:
+// summary-based GlOSS selectors beat random and approach the oracle.
+func TestExperimentX2Direction(t *testing.T) {
+	res, err := RunSelection(smallSelection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsum := res.MeanRn["vGlOSS-Sum(0)"]
+	rnd := res.MeanRn["random"]
+	oracle := res.MeanRn["oracle"]
+	for i := range oracle {
+		if oracle[i] < 0.999 {
+			t.Errorf("oracle R%d = %g, must be 1", i+1, oracle[i])
+		}
+	}
+	// R1 is the sharpest test of selection.
+	if vsum[0] <= rnd[0] {
+		t.Errorf("vGlOSS R1 %.3f should beat random %.3f", vsum[0], rnd[0])
+	}
+	if vsum[0] < 0.6 {
+		t.Errorf("vGlOSS R1 %.3f suspiciously low", vsum[0])
+	}
+	vmax := res.MeanRn["vGlOSS-Max(0)"]
+	if vmax[0] <= rnd[0] {
+		t.Errorf("vGlOSS-Max R1 %.3f should beat random %.3f", vmax[0], rnd[0])
+	}
+	// The table renders.
+	tab := res.Table().Render()
+	if !strings.Contains(tab, "X2") || !strings.Contains(tab, "random") {
+		t.Errorf("table rendering broken:\n%s", tab)
+	}
+}
+
+// TestExperimentX1Direction asserts the summary-size claim: summaries are
+// several times smaller than the collections (growing with collection
+// size; the full config in EXPERIMENTS.md shows a larger gap).
+func TestExperimentX1Direction(t *testing.T) {
+	res, err := RunSummarySize(11, 4, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRatio < 2 {
+		t.Errorf("summaries not smaller than corpus: mean ratio %.2f", res.MeanRatio)
+	}
+	if res.SummaryBytes <= 0 || res.CorpusBytes <= res.SummaryBytes {
+		t.Errorf("sizes wrong: corpus %d summary %d", res.CorpusBytes, res.SummaryBytes)
+	}
+	// The ratio grows with collection size (summaries grow with
+	// vocabulary, not documents).
+	big, err := RunSummarySize(11, 4, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MeanRatio <= res.MeanRatio {
+		t.Errorf("ratio should grow with collection size: %.2f -> %.2f", res.MeanRatio, big.MeanRatio)
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "TOTAL") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}
+
+// TestExperimentX3Direction asserts the rank-merging claim: TermStats
+// re-ranking beats raw-score merging against the single-collection oracle.
+func TestExperimentX3Direction(t *testing.T) {
+	res, err := RunMerge(smallMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := res.MeanP["raw-score"]
+	ts := res.MeanP["term-stats"]
+	if ts <= raw {
+		t.Errorf("term-stats P@10 %.3f should beat raw-score %.3f", ts, raw)
+	}
+	scaled := res.MeanP["scaled-score"]
+	if ts < scaled-0.15 {
+		t.Errorf("term-stats P@10 %.3f unexpectedly far below scaled %.3f", ts, scaled)
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "term-stats") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}
+
+// TestExperimentX8Direction asserts the calibration claim: fitting score
+// maps from sample-database results improves on raw-score merging.
+func TestExperimentX8Direction(t *testing.T) {
+	res, err := RunCalibration(smallMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := res.MeanP["raw-score"]
+	cal := res.MeanP["sample-calibrated"]
+	if cal < raw {
+		t.Errorf("calibrated P@10 %.3f should not lose to raw %.3f", cal, raw)
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "sample-calibrated") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}
+
+// TestExperimentX4Direction asserts the translation claim: term survival
+// and answer overlap are high for mildly restricted engines, and
+// post-filtering never hurts overlap for the profiles that drop terms.
+func TestExperimentX4Direction(t *testing.T) {
+	res, err := RunTranslation(TranslationConfig{Seed: 31, DocsPerSource: 80, NumQueries: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.TermSurvival <= 0 || row.TermSurvival > 1 {
+			t.Errorf("%s: term survival %.3f out of range", row.Profile, row.TermSurvival)
+		}
+		if row.Profile == "no-modifiers" && row.TermSurvival < 0.999 {
+			t.Errorf("no-modifiers should keep all terms, got %.3f", row.TermSurvival)
+		}
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "boolean-only") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}
+
+// TestExperimentX5Direction asserts the stop-word claim: the stop-phrase
+// targets are only reachable when TurnOffStopWords is honored.
+func TestExperimentX5Direction(t *testing.T) {
+	res, err := RunStopWords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecallOn != 1 {
+		t.Errorf("recall with stop words kept = %.2f, want 1", res.RecallOn)
+	}
+	if res.RecallOff >= res.RecallOn {
+		t.Errorf("forced elimination recall %.2f should be below %.2f", res.RecallOff, res.RecallOn)
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "TurnOffStopWords") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}
+
+// TestExperimentX7Direction asserts the Figure 1 claim: resource-side
+// evaluation yields zero duplicates and attributes shared documents to
+// multiple sources, while naive client-side concatenation duplicates.
+func TestExperimentX7Direction(t *testing.T) {
+	res, err := RunDuplicates(DuplicatesConfig{
+		Seed: 41, NumSources: 3, DocsPerSource: 60, Overlap: 0.3, NumQueries: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResourceDupRate != 0 {
+		t.Errorf("resource-side duplicate rate = %.3f, want 0", res.ResourceDupRate)
+	}
+	if res.ClientMergedDupRate != 0 {
+		t.Errorf("merge-layer duplicate rate = %.3f, want 0", res.ClientMergedDupRate)
+	}
+	if res.ClientDupRate <= 0 {
+		t.Errorf("naive concatenation duplicate rate = %.3f, want > 0", res.ClientDupRate)
+	}
+	if res.MultiAttributed <= 0 {
+		t.Errorf("no multi-attributed documents despite overlap")
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "resource-side") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "T", Caption: "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"xxxxxx", "1"}, {"y", "2"}},
+	}
+	got := tab.Render()
+	want := "T — demo\n" +
+		"a       long-header\n" +
+		"------  -----------\n" +
+		"xxxxxx  1          \n" +
+		"y       2          \n"
+	if got != want {
+		t.Errorf("Render:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestQueryOfHelper(t *testing.T) {
+	q, err := queryOf(`list((body-of-text "databases"))`)
+	if err != nil || q.Ranking == nil {
+		t.Fatalf("queryOf: %v", err)
+	}
+	if _, err := queryOf("((("); err == nil {
+		t.Error("queryOf accepted garbage")
+	}
+}
+
+// TestAblationGranularity: field-qualified summaries should not lose to
+// collapsed ones on selection quality, while collapsed ones are smaller.
+func TestAblationGranularity(t *testing.T) {
+	res, err := RunGranularity(SelectionConfig{Seed: 11, NumSources: 6, DocsPerSource: 60, NumQueries: 20, MaxN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FieldQualifiedR1 < res.CollapsedR1-0.05 {
+		t.Errorf("field-qualified R1 %.3f clearly below collapsed %.3f", res.FieldQualifiedR1, res.CollapsedR1)
+	}
+	if res.CollapsedBytes >= res.FieldQualifiedBytes {
+		t.Errorf("collapsed summaries should be smaller: %d vs %d", res.CollapsedBytes, res.FieldQualifiedBytes)
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "collapsed") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}
+
+// TestAblationProx: the AND approximation over-answers (prox is a strict
+// subset), which is the case for positional postings.
+func TestAblationProx(t *testing.T) {
+	res, err := RunProxAblation(51, 150, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPrecision <= 0 || res.MeanPrecision >= 1 {
+		t.Errorf("prox/AND ratio %.3f should be strictly between 0 and 1", res.MeanPrecision)
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "prox") {
+		t.Errorf("table rendering broken:\n%s", got)
+	}
+}

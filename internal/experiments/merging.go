@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"starts/internal/corpus"
+	"starts/internal/engine"
+	"starts/internal/eval"
+	"starts/internal/merge"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// MergeConfig parameterizes experiments X3 and X8.
+type MergeConfig struct {
+	Seed          int64
+	NumSources    int
+	DocsPerSource int
+	NumQueries    int
+	TopK          int // rank depth compared against the oracle
+}
+
+// DefaultMergeConfig is the EXPERIMENTS.md configuration.
+func DefaultMergeConfig() MergeConfig {
+	return MergeConfig{Seed: 23, NumSources: 6, DocsPerSource: 200, NumQueries: 60, TopK: 10}
+}
+
+// MergeResult is X3's outcome per strategy.
+type MergeResult struct {
+	Config     MergeConfig
+	Strategies []string
+	// MeanP[strategy] is mean precision@TopK against the single-collection
+	// oracle's top-TopK.
+	MeanP map[string]float64
+	// MeanTau[strategy] is mean Kendall tau against the oracle order over
+	// common documents (queries with <2 common documents skipped).
+	MeanTau map[string]float64
+}
+
+// buildOracle indexes every document of the universe into one combined
+// TFIDF collection — the "single large source" a metasearcher wishes it
+// had.
+func buildOracle(g *corpus.Generated) (*source.Source, error) {
+	eng, err := engine.New(engine.NewVectorConfig())
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := source.New("oracle", eng)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, spec := range g.Sources {
+		for _, d := range spec.Docs {
+			if seen[d.Linkage] {
+				continue // universes with overlap hold duplicates
+			}
+			seen[d.Linkage] = true
+			if err := oracle.Add(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return oracle, nil
+}
+
+// RunMerge is experiment X3: merging across incompatible rankers. The
+// fleet alternates TFIDF, TopK (0-1000) and RawTF (unbounded) engines;
+// each strategy's fused rank is compared with the rank a single combined
+// collection would produce.
+func RunMerge(cfg MergeConfig) (*MergeResult, error) {
+	g := corpus.Generate(corpus.Config{
+		Seed: cfg.Seed, NumSources: cfg.NumSources, DocsPerSource: cfg.DocsPerSource,
+	})
+	fleet, err := BuildFleet(g, ProfileVector, ProfileTopK, ProfileRawTF)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := buildOracle(g)
+	if err != nil {
+		return nil, err
+	}
+	strategies := []merge.Strategy{
+		merge.RawScore{}, merge.Scaled{}, merge.RoundRobin{},
+		merge.TermStats{}, merge.TermStats{LocalIDF: true},
+	}
+	res := &MergeResult{
+		Config: cfg,
+		MeanP:  map[string]float64{}, MeanTau: map[string]float64{},
+	}
+	for _, s := range strategies {
+		res.Strategies = append(res.Strategies, s.Name())
+	}
+	tauCount := map[string]int{}
+
+	workload := corpus.Workload(g, corpus.WorkloadConfig{
+		Seed: cfg.Seed + 1, NumQueries: cfg.NumQueries, FilterFraction: -1,
+		MaxResults: cfg.TopK * 3,
+	})
+	counted := 0
+	for _, wq := range workload {
+		oracleRes, err := oracle.Search(wq.Query)
+		if err != nil {
+			return nil, err
+		}
+		if len(oracleRes.Documents) == 0 {
+			continue
+		}
+		oracleOrder := linkages(oracleRes.Documents)
+		relevant := map[string]bool{}
+		for i, url := range oracleOrder {
+			if i >= cfg.TopK {
+				break
+			}
+			relevant[url] = true
+		}
+		var inputs []merge.SourceResult
+		for _, s := range fleet.Sources {
+			r, err := s.Search(wq.Query)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, merge.SourceResult{
+				SourceID: s.ID(), Meta: s.Metadata(), Summary: s.ContentSummary(), Results: r,
+			})
+		}
+		counted++
+		for _, strat := range strategies {
+			fused := strat.Merge(wq.Query, inputs)
+			order := linkages(fused)
+			res.MeanP[strat.Name()] += eval.PrecisionAtK(order, relevant, cfg.TopK)
+			if tau, err := eval.KendallTau(order, oracleOrder); err == nil {
+				res.MeanTau[strat.Name()] += tau
+				tauCount[strat.Name()]++
+			}
+		}
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("experiments: merge workload produced no usable queries")
+	}
+	for _, name := range res.Strategies {
+		res.MeanP[name] /= float64(counted)
+		if tauCount[name] > 0 {
+			res.MeanTau[name] /= float64(tauCount[name])
+		}
+	}
+	return res, nil
+}
+
+func linkages(docs []*result.Document) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = d.Linkage()
+	}
+	return out
+}
+
+// Table renders X3.
+func (r *MergeResult) Table() *Table {
+	t := &Table{
+		ID: "X3",
+		Caption: fmt.Sprintf("rank merging vs single-collection oracle, %d queries (%d sources, 3 incompatible rankers)",
+			r.Config.NumQueries, r.Config.NumSources),
+		Header: []string{"strategy", fmt.Sprintf("P@%d", r.Config.TopK), "Kendall tau"},
+	}
+	for _, name := range r.Strategies {
+		t.Rows = append(t.Rows, []string{name, f3(r.MeanP[name]), f3(r.MeanTau[name])})
+	}
+	return t
+}
+
+// CalibrationResult is X8's outcome.
+type CalibrationResult struct {
+	Config     MergeConfig
+	Strategies []string
+	MeanP      map[string]float64
+}
+
+// RunCalibration is experiment X8: can the sample-database results
+// calibrate black-box rankers? Each non-reference source's score mapping
+// is fitted against the reference (TFIDF) source's sample results; merging
+// on calibrated scores is compared with raw and range-scaled merging.
+func RunCalibration(cfg MergeConfig) (*CalibrationResult, error) {
+	g := corpus.Generate(corpus.Config{
+		Seed: cfg.Seed, NumSources: cfg.NumSources, DocsPerSource: cfg.DocsPerSource,
+	})
+	fleet, err := BuildFleet(g, ProfileVector, ProfileTopK, ProfileRawTF)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := buildOracle(g)
+	if err != nil {
+		return nil, err
+	}
+	// Fit each source against the first (TFIDF) source's sample results.
+	refSamples, err := fleet.Sources[0].SampleResults()
+	if err != nil {
+		return nil, err
+	}
+	cals := map[string]merge.Calibration{}
+	for _, s := range fleet.Sources[1:] {
+		samples, err := s.SampleResults()
+		if err != nil {
+			return nil, err
+		}
+		cal, err := merge.Fit(samples, refSamples)
+		if err != nil {
+			return nil, err
+		}
+		cals[s.ID()] = cal
+	}
+	strategies := []merge.Strategy{
+		merge.RawScore{}, merge.Scaled{}, merge.Calibrated{BySource: cals},
+	}
+	res := &CalibrationResult{Config: cfg, MeanP: map[string]float64{}}
+	for _, s := range strategies {
+		res.Strategies = append(res.Strategies, s.Name())
+	}
+	workload := corpus.Workload(g, corpus.WorkloadConfig{
+		Seed: cfg.Seed + 2, NumQueries: cfg.NumQueries, FilterFraction: -1,
+		MaxResults: cfg.TopK * 3,
+	})
+	counted := 0
+	for _, wq := range workload {
+		oracleRes, err := oracle.Search(wq.Query)
+		if err != nil {
+			return nil, err
+		}
+		if len(oracleRes.Documents) == 0 {
+			continue
+		}
+		relevant := map[string]bool{}
+		for i, d := range oracleRes.Documents {
+			if i >= cfg.TopK {
+				break
+			}
+			relevant[d.Linkage()] = true
+		}
+		var inputs []merge.SourceResult
+		for _, s := range fleet.Sources {
+			r, err := s.Search(wq.Query)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, merge.SourceResult{
+				SourceID: s.ID(), Meta: s.Metadata(), Results: r,
+			})
+		}
+		counted++
+		for _, strat := range strategies {
+			fused := strat.Merge(wq.Query, inputs)
+			res.MeanP[strat.Name()] += eval.PrecisionAtK(linkages(fused), relevant, cfg.TopK)
+		}
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("experiments: calibration workload produced no usable queries")
+	}
+	for _, name := range res.Strategies {
+		res.MeanP[name] /= float64(counted)
+	}
+	return res, nil
+}
+
+// Table renders X8.
+func (r *CalibrationResult) Table() *Table {
+	t := &Table{
+		ID: "X8",
+		Caption: fmt.Sprintf("sample-database calibration, %d queries: merging on raw vs range-scaled vs sample-calibrated scores",
+			r.Config.NumQueries),
+		Header: []string{"strategy", fmt.Sprintf("P@%d", r.Config.TopK)},
+	}
+	for _, name := range r.Strategies {
+		t.Rows = append(t.Rows, []string{name, f3(r.MeanP[name])})
+	}
+	return t
+}
+
+// queryOf builds a ranking query from raw text, for tests.
+func queryOf(ranking string) (*query.Query, error) {
+	q := query.New()
+	r, err := query.ParseRanking(ranking)
+	if err != nil {
+		return nil, err
+	}
+	q.Ranking = r
+	return q, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"starts/internal/corpus"
+	"starts/internal/merge"
+	"starts/internal/source"
+)
+
+// DuplicatesConfig parameterizes experiment X7.
+type DuplicatesConfig struct {
+	Seed          int64
+	NumSources    int
+	DocsPerSource int
+	Overlap       float64
+	NumQueries    int
+}
+
+// DefaultDuplicatesConfig is the EXPERIMENTS.md configuration.
+func DefaultDuplicatesConfig() DuplicatesConfig {
+	return DuplicatesConfig{Seed: 41, NumSources: 4, DocsPerSource: 150, Overlap: 0.25, NumQueries: 40}
+}
+
+// DuplicatesResult is X7's outcome.
+type DuplicatesResult struct {
+	Config DuplicatesConfig
+	// ResourceDupRate is the fraction of duplicate documents in answers
+	// when the resource evaluates the multi-source query itself.
+	ResourceDupRate float64
+	// ClientDupRate is the duplicate fraction when the metasearcher
+	// queries each source independently and naively concatenates.
+	ClientDupRate float64
+	// ClientMergedDupRate is the duplicate fraction after the client-side
+	// merge layer collapses linkages.
+	ClientMergedDupRate float64
+	// MultiAttributed is the fraction of resource-side answer documents
+	// attributed to more than one source.
+	MultiAttributed float64
+}
+
+// RunDuplicates is experiment X7 (the Figure 1 rationale): querying
+// several sources of one resource through the resource eliminates
+// duplicate documents at the resource, which a metasearcher querying the
+// sources independently must reconstruct client-side.
+func RunDuplicates(cfg DuplicatesConfig) (*DuplicatesResult, error) {
+	g := corpus.Generate(corpus.Config{
+		Seed: cfg.Seed, NumSources: cfg.NumSources, DocsPerSource: cfg.DocsPerSource,
+		Overlap: cfg.Overlap,
+	})
+	fleet, err := BuildFleet(g, ProfileVector)
+	if err != nil {
+		return nil, err
+	}
+	res := source.NewResource()
+	for _, s := range fleet.Sources {
+		if err := res.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	workload := corpus.Workload(g, corpus.WorkloadConfig{
+		Seed: cfg.Seed + 1, NumQueries: cfg.NumQueries, FilterFraction: -1, MaxResults: 30,
+	})
+
+	out := &DuplicatesResult{Config: cfg}
+	var resourceDocs, resourceDups, resourceMulti int
+	var clientDocs, clientDups int
+	var mergedDocs, mergedDups int
+	extra := fleet.Sources[1:]
+	var extraIDs []string
+	for _, s := range extra {
+		extraIDs = append(extraIDs, s.ID())
+	}
+	for _, wq := range workload {
+		// Resource-side: one query naming all sibling sources.
+		q := wq.Query.Clone()
+		q.Sources = extraIDs
+		rres, err := res.Search(fleet.Sources[0].ID(), q)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for _, d := range rres.Documents {
+			resourceDocs++
+			if seen[d.Linkage()] {
+				resourceDups++
+			}
+			seen[d.Linkage()] = true
+			if len(d.Sources) > 1 {
+				resourceMulti++
+			}
+		}
+		// Client-side: independent queries, naive concatenation.
+		var inputs []merge.SourceResult
+		seenC := map[string]bool{}
+		for _, s := range fleet.Sources {
+			r, err := s.Search(wq.Query)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, merge.SourceResult{SourceID: s.ID(), Results: r})
+			for _, d := range r.Documents {
+				clientDocs++
+				if seenC[d.Linkage()] {
+					clientDups++
+				}
+				seenC[d.Linkage()] = true
+			}
+		}
+		// Client-side with the merge layer (collapses by linkage).
+		fused := (merge.RawScore{}).Merge(wq.Query, inputs)
+		seenM := map[string]bool{}
+		for _, d := range fused {
+			mergedDocs++
+			if seenM[d.Linkage()] {
+				mergedDups++
+			}
+			seenM[d.Linkage()] = true
+		}
+	}
+	if resourceDocs == 0 || clientDocs == 0 {
+		return nil, fmt.Errorf("experiments: duplicates workload returned nothing")
+	}
+	out.ResourceDupRate = float64(resourceDups) / float64(resourceDocs)
+	out.ClientDupRate = float64(clientDups) / float64(clientDocs)
+	out.ClientMergedDupRate = float64(mergedDups) / float64(mergedDocs)
+	out.MultiAttributed = float64(resourceMulti) / float64(resourceDocs)
+	return out, nil
+}
+
+// Table renders X7.
+func (r *DuplicatesResult) Table() *Table {
+	return &Table{
+		ID: "X7",
+		Caption: fmt.Sprintf("duplicate elimination, %d queries over %d sources with %.0f%% overlap",
+			r.Config.NumQueries, r.Config.NumSources, r.Config.Overlap*100),
+		Header: []string{"evaluation path", "duplicate rate", "multi-source attributed"},
+		Rows: [][]string{
+			{"resource-side (same-resource query)", f3(r.ResourceDupRate), f3(r.MultiAttributed)},
+			{"client-side, naive concatenation", f3(r.ClientDupRate), "-"},
+			{"client-side, merge layer", f3(r.ClientMergedDupRate), "-"},
+		},
+	}
+}

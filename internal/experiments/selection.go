@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"starts/internal/corpus"
+	"starts/internal/eval"
+	"starts/internal/gloss"
+)
+
+// SelectionConfig parameterizes experiment X2 (and the X1 size
+// measurement shares its universe).
+type SelectionConfig struct {
+	Seed          int64
+	NumSources    int
+	DocsPerSource int
+	NumQueries    int
+	MaxN          int // report Rn for n = 1..MaxN
+}
+
+// DefaultSelectionConfig is the EXPERIMENTS.md configuration.
+func DefaultSelectionConfig() SelectionConfig {
+	return SelectionConfig{Seed: 11, NumSources: 10, DocsPerSource: 300, NumQueries: 100, MaxN: 5}
+}
+
+// SelectionResult is X2's outcome: mean Rn per selector per n.
+type SelectionResult struct {
+	Config SelectionConfig
+	// MeanRn[selector][n-1] is the mean Rn over the workload.
+	MeanRn map[string][]float64
+	// Selectors in report order.
+	Selectors []string
+}
+
+// RunSelection is experiment X2: do content summaries suffice to pick
+// good sources? For every workload query, each source's true merit is the
+// number of its documents matching the query (evaluated for real); each
+// selector ranks the sources from summaries alone; Rn compares the merit
+// captured by its top-n choices with the best possible n.
+func RunSelection(cfg SelectionConfig) (*SelectionResult, error) {
+	g := corpus.Generate(corpus.Config{
+		Seed: cfg.Seed, NumSources: cfg.NumSources, DocsPerSource: cfg.DocsPerSource,
+	})
+	fleet, err := BuildFleet(g, ProfileVector)
+	if err != nil {
+		return nil, err
+	}
+	// Harvest summaries once, as a metasearcher would.
+	infos := make([]gloss.SourceInfo, len(fleet.Sources))
+	for i, s := range fleet.Sources {
+		infos[i] = gloss.SourceInfo{ID: s.ID(), Summary: s.ContentSummary(), Meta: s.Metadata()}
+	}
+	workload := corpus.Workload(g, corpus.WorkloadConfig{
+		Seed: cfg.Seed + 1, NumQueries: cfg.NumQueries, FilterFraction: -1,
+		MaxResults: cfg.DocsPerSource,
+	})
+
+	selectors := []gloss.Selector{
+		gloss.VSum{}, gloss.VMax{},
+		gloss.VSumL{L: 0}, gloss.VMaxL{L: 0},
+		gloss.BGloss{}, gloss.Random{Seed: cfg.Seed},
+	}
+	res := &SelectionResult{Config: cfg, MeanRn: map[string][]float64{}}
+	res.Selectors = append(res.Selectors, "oracle")
+	res.MeanRn["oracle"] = make([]float64, cfg.MaxN)
+	for _, s := range selectors {
+		res.Selectors = append(res.Selectors, s.Name())
+		res.MeanRn[s.Name()] = make([]float64, cfg.MaxN)
+	}
+
+	counted := 0
+	for _, wq := range workload {
+		// True merit: how many documents each source returns for the
+		// query (similarity > 0).
+		merit := map[string]float64{}
+		total := 0.0
+		for _, s := range fleet.Sources {
+			r, err := s.Search(wq.Query)
+			if err != nil {
+				return nil, err
+			}
+			merit[s.ID()] = float64(len(r.Documents))
+			total += merit[s.ID()]
+		}
+		if total == 0 {
+			continue // nothing anywhere; every order is ideal
+		}
+		counted++
+		oracle := gloss.Oracle{Merit: merit}
+		for n := 1; n <= cfg.MaxN; n++ {
+			res.MeanRn["oracle"][n-1] += eval.Rn(orderOf(oracle.Rank(wq.Query, infos)), merit, n)
+		}
+		for _, s := range selectors {
+			order := orderOf(s.Rank(wq.Query, infos))
+			for n := 1; n <= cfg.MaxN; n++ {
+				res.MeanRn[s.Name()][n-1] += eval.Rn(order, merit, n)
+			}
+		}
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("experiments: selection workload produced no usable queries")
+	}
+	for _, vs := range res.MeanRn {
+		for i := range vs {
+			vs[i] /= float64(counted)
+		}
+	}
+	return res, nil
+}
+
+func orderOf(rs []gloss.Ranked) []string {
+	ids := make([]string, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Table renders X2.
+func (r *SelectionResult) Table() *Table {
+	t := &Table{
+		ID: "X2",
+		Caption: fmt.Sprintf("source selection quality, mean Rn over %d queries (%d sources × %d docs)",
+			r.Config.NumQueries, r.Config.NumSources, r.Config.DocsPerSource),
+		Header: []string{"selector"},
+	}
+	for n := 1; n <= r.Config.MaxN; n++ {
+		t.Header = append(t.Header, fmt.Sprintf("R%d", n))
+	}
+	for _, name := range r.Selectors {
+		row := []string{name}
+		for _, v := range r.MeanRn[name] {
+			row = append(row, f3(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// SummarySizeResult is X1's outcome: content summaries versus raw
+// collections, in bytes.
+type SummarySizeResult struct {
+	NumSources    int
+	CorpusBytes   int
+	SummaryBytes  int
+	MeanRatio     float64 // corpus/summary, averaged per source
+	MinRatio      float64
+	SummaryTerms  int
+	CorpusDocs    int
+	PerSourceRows [][]string
+}
+
+// RunSummarySize is experiment X1: summaries must be much smaller than the
+// collections they describe yet remain useful (usefulness is X2).
+func RunSummarySize(seed int64, numSources, docsPerSource int) (*SummarySizeResult, error) {
+	g := corpus.Generate(corpus.Config{Seed: seed, NumSources: numSources, DocsPerSource: docsPerSource})
+	fleet, err := BuildFleet(g, ProfileVector)
+	if err != nil {
+		return nil, err
+	}
+	res := &SummarySizeResult{NumSources: numSources, MinRatio: 1e18}
+	for i, s := range fleet.Sources {
+		corpusBytes := 0
+		for _, d := range g.Sources[i].Docs {
+			corpusBytes += len(d.Title) + len(d.Body)
+			for _, a := range d.Authors {
+				corpusBytes += len(a)
+			}
+		}
+		sum := s.ContentSummary()
+		data, err := sum.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(corpusBytes) / float64(len(data))
+		res.CorpusBytes += corpusBytes
+		res.SummaryBytes += len(data)
+		res.MeanRatio += ratio
+		if ratio < res.MinRatio {
+			res.MinRatio = ratio
+		}
+		res.SummaryTerms += sum.TotalTerms()
+		res.CorpusDocs += sum.NumDocs
+		res.PerSourceRows = append(res.PerSourceRows, []string{
+			s.ID(), fmt.Sprintf("%d", corpusBytes), fmt.Sprintf("%d", len(data)),
+			f2(ratio), fmt.Sprintf("%d", sum.TotalTerms()),
+		})
+	}
+	res.MeanRatio /= float64(len(fleet.Sources))
+	return res, nil
+}
+
+// Table renders X1.
+func (r *SummarySizeResult) Table() *Table {
+	t := &Table{
+		ID:      "X1",
+		Caption: fmt.Sprintf("content summary size vs collection size (%d sources, %d docs)", r.NumSources, r.CorpusDocs),
+		Header:  []string{"source", "corpus B", "summary B", "ratio", "terms"},
+		Rows:    r.PerSourceRows,
+	}
+	t.Rows = append(t.Rows, []string{
+		"TOTAL", fmt.Sprintf("%d", r.CorpusBytes), fmt.Sprintf("%d", r.SummaryBytes),
+		f2(float64(r.CorpusBytes) / float64(r.SummaryBytes)), fmt.Sprintf("%d", r.SummaryTerms),
+	})
+	return t
+}

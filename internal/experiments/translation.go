@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"starts/internal/attr"
+	"starts/internal/corpus"
+	"starts/internal/engine"
+	"starts/internal/eval"
+	"starts/internal/index"
+	"starts/internal/query"
+	"starts/internal/source"
+	"starts/internal/text"
+	"starts/internal/translate"
+)
+
+// TranslationConfig parameterizes experiment X4.
+type TranslationConfig struct {
+	Seed          int64
+	DocsPerSource int
+	NumQueries    int
+}
+
+// DefaultTranslationConfig is the EXPERIMENTS.md configuration.
+func DefaultTranslationConfig() TranslationConfig {
+	return TranslationConfig{Seed: 31, DocsPerSource: 250, NumQueries: 80}
+}
+
+// TranslationRow is one engine profile's outcome in X4.
+type TranslationRow struct {
+	Profile string
+	// TermSurvival is the mean fraction of query terms surviving
+	// translation.
+	TermSurvival float64
+	// Overlap is the mean Jaccard overlap between the profile's answer
+	// set and the fully-capable engine's answer set for the same queries.
+	Overlap float64
+	// PostFilterOverlap is Overlap after client-side verification of
+	// dropped terms.
+	PostFilterOverlap float64
+}
+
+// TranslationResult is X4's outcome.
+type TranslationResult struct {
+	Config TranslationConfig
+	Rows   []TranslationRow
+}
+
+// restrictedProfiles are the deliberately hobbled engines X4 runs against:
+// each supports a different subset of fields and modifiers over the SAME
+// collection as the reference engine.
+func restrictedProfiles() map[string]engine.Config {
+	noAuthor := engine.NewVectorConfig()
+	noAuthor.Fields = []attr.Field{attr.FieldBodyOfText}
+
+	noMods := engine.NewVectorConfig()
+	noMods.Mods = []attr.Modifier{attr.ModEQ}
+
+	boolean := engine.NewBooleanConfig()
+
+	titleOnly := engine.NewVectorConfig()
+	titleOnly.Fields = nil // required fields only: title, date, any, linkage
+
+	return map[string]engine.Config{
+		"no-author-field": noAuthor,
+		"no-modifiers":    noMods,
+		"boolean-only":    boolean,
+		"required-fields": titleOnly,
+	}
+}
+
+// RunTranslation is experiment X4: with exported metadata a metasearcher
+// can translate one query for very different engines and still get
+// comparable answers. Queries mix author/title/body fields and stem
+// modifiers; every engine indexes the same single-topic collection, so the
+// reference answer set is well defined.
+func RunTranslation(cfg TranslationConfig) (*TranslationResult, error) {
+	g := corpus.Generate(corpus.Config{Seed: cfg.Seed, NumSources: 1, DocsPerSource: cfg.DocsPerSource})
+	docs := g.Sources[0].Docs
+
+	mkSource := func(id string, ecfg engine.Config) (*source.Source, error) {
+		eng, err := engine.New(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := source.New(id, eng)
+		if err != nil {
+			return nil, err
+		}
+		return s, s.AddAll(docs)
+	}
+	ref, err := mkSource("reference", engine.NewVectorConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topic := g.Topics[0]
+	queries := make([]*query.Query, 0, cfg.NumQueries)
+	for i := 0; i < cfg.NumQueries; i++ {
+		q := query.New()
+		q.MaxResults = 50
+		w1 := topic.Words[rng.Intn(20)]
+		w2 := topic.Words[rng.Intn(20)]
+		author := authorFirstNames()[rng.Intn(len(authorFirstNames()))]
+		f, err := query.ParseFilter(fmt.Sprintf(
+			`((author "%s") and ((title stem "%s") or (body-of-text "%s")))`, author, w1, w2))
+		if err != nil {
+			return nil, err
+		}
+		q.Filter = f
+		r, err := query.ParseRanking(fmt.Sprintf(
+			`list((body-of-text "%s") (body-of-text "%s"))`, w1, w2))
+		if err != nil {
+			return nil, err
+		}
+		q.Ranking = r
+		queries = append(queries, q)
+	}
+
+	res := &TranslationResult{Config: cfg}
+	for name, ecfg := range restrictedProfiles() {
+		s, err := mkSource(name, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		md := s.Metadata()
+		row := TranslationRow{Profile: name}
+		for _, q := range queries {
+			refRes, err := ref.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			refSet := linkages(refRes.Documents)
+
+			sent, rep := translate.ForSource(q, md)
+			totalTerms := len(q.Filter.Terms(nil)) + len(q.Ranking.Terms(nil))
+			row.TermSurvival += 1 - float64(len(rep.DroppedTerms))/float64(totalTerms)
+
+			if sent.Filter == nil && sent.Ranking == nil {
+				continue // nothing survives: overlap 0
+			}
+			sent.AnswerFields = []attr.Field{attr.FieldTitle, attr.FieldAuthor}
+			got, err := s.Search(sent)
+			if err != nil {
+				return nil, err
+			}
+			row.Overlap += eval.Overlap(refSet, linkages(got.Documents))
+			kept, _ := translate.PostFilter(got.Documents, rep.DroppedTerms)
+			row.PostFilterOverlap += eval.Overlap(refSet, linkages(kept))
+		}
+		n := float64(len(queries))
+		row.TermSurvival /= n
+		row.Overlap /= n
+		row.PostFilterOverlap /= n
+		res.Rows = append(res.Rows, row)
+	}
+	// Deterministic report order.
+	sortRows(res.Rows)
+	return res, nil
+}
+
+func sortRows(rows []TranslationRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].Profile < rows[j-1].Profile; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+func authorFirstNames() []string {
+	return []string{"Ada", "Grace", "Alan", "Donald", "Edgar", "Jim", "Ana", "Wei"}
+}
+
+// Table renders X4.
+func (r *TranslationResult) Table() *Table {
+	t := &Table{
+		ID: "X4",
+		Caption: fmt.Sprintf("metadata-driven translation across restricted engines, %d mixed field/modifier queries",
+			r.Config.NumQueries),
+		Header: []string{"profile", "term survival", "answer overlap", "after post-filter"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Profile, f3(row.TermSurvival), f3(row.Overlap), f3(row.PostFilterOverlap),
+		})
+	}
+	return t
+}
+
+// StopWordsResult is X5's outcome.
+type StopWordsResult struct {
+	// RecallOff is recall of stop-phrase targets when the source cannot
+	// keep stop words.
+	RecallOff float64
+	// RecallOn is recall when the query disables elimination at a source
+	// that allows it.
+	RecallOn float64
+	// Phrases is the number of stop-word phrases probed.
+	Phrases int
+}
+
+// RunStopWords is experiment X5: the paper's "The Who" scenario. Documents
+// about stop-word-named entities are findable exactly when the source
+// supports TurnOffStopWords and the query uses it.
+func RunStopWords() (*StopWordsResult, error) {
+	phrases := []struct{ phrase, title string }{
+		{"the who", "The Who live at Leeds"},
+		{"to be or not to be", "To be or not to be: the soliloquy"},
+		{"it", "It, a novel"},
+		{"no more", "No More: a history of refusals"},
+	}
+	mk := func(turnOff bool) (*source.Source, error) {
+		cfg := engine.NewVectorConfig()
+		cfg.TurnOffStopWords = turnOff
+		cfg.Analyzer = &text.Analyzer{
+			Tokenizer: cfg.Analyzer.Tokenizer,
+			Stop:      text.EnglishStopWords(),
+			Stemming:  false,
+		}
+		eng, err := engine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		name := "stop-on"
+		if turnOff {
+			name = "stop-off-able"
+		}
+		s, err := source.New(name, eng)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range phrases {
+			if err := s.Add(&index.Document{
+				Linkage: fmt.Sprintf("http://docs/%d", i),
+				Title:   p.title,
+				Body:    "An article about " + p.phrase + " and related matters of rock history.",
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Distractors.
+		for i := 0; i < 20; i++ {
+			if err := s.Add(&index.Document{
+				Linkage: fmt.Sprintf("http://noise/%d", i),
+				Title:   fmt.Sprintf("Unrelated piece %d", i),
+				Body:    "completely unrelated filler content about engineering",
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	rigid, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	flexible, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &StopWordsResult{Phrases: len(phrases)}
+	for i, p := range phrases {
+		q := query.New()
+		f, err := query.ParseFilter(fmt.Sprintf(`(body-of-text "%s")`, p.phrase))
+		if err != nil {
+			return nil, err
+		}
+		q.Filter = f
+		q.DropStopWords = false
+		want := fmt.Sprintf("http://docs/%d", i)
+		if found(rigid, q, want) {
+			res.RecallOff++
+		}
+		if found(flexible, q, want) {
+			res.RecallOn++
+		}
+	}
+	res.RecallOff /= float64(len(phrases))
+	res.RecallOn /= float64(len(phrases))
+	return res, nil
+}
+
+func found(s *source.Source, q *query.Query, linkage string) bool {
+	r, err := s.Search(q)
+	if err != nil {
+		return false
+	}
+	for _, d := range r.Documents {
+		if d.Linkage() == linkage {
+			return true
+		}
+	}
+	return false
+}
+
+// Table renders X5.
+func (r *StopWordsResult) Table() *Table {
+	return &Table{
+		ID:      "X5",
+		Caption: fmt.Sprintf("stop-word control (%d stop-word phrases, DropStopWords=F)", r.Phrases),
+		Header:  []string{"source capability", "recall of stop-phrase targets"},
+		Rows: [][]string{
+			{"TurnOffStopWords=F (elimination forced)", f2(r.RecallOff)},
+			{"TurnOffStopWords=T (query keeps them)", f2(r.RecallOn)},
+		},
+	}
+}

@@ -1,0 +1,243 @@
+// Package gloss implements content-summary-based source selection — the
+// first of the three metasearch tasks. The estimators follow the GlOSS
+// family the paper cites ([7] bGlOSS for Boolean sources, [8] vGlOSS
+// Max(l)/Sum(l) for vector-space sources): from nothing but each source's
+// exported content summary, estimate how good the source is for a query
+// and rank the sources, so the metasearcher contacts only the promising
+// ones.
+package gloss
+
+import (
+	"math/rand"
+	"sort"
+
+	"starts/internal/attr"
+	"starts/internal/lang"
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/text"
+)
+
+// SourceInfo is what a selector knows about one source: its harvested
+// content summary (and, optionally, metadata).
+type SourceInfo struct {
+	ID      string
+	Summary *meta.ContentSummary
+	Meta    *meta.SourceMeta
+}
+
+// Ranked is one source with its estimated goodness for a query.
+type Ranked struct {
+	ID       string
+	Goodness float64
+}
+
+// Selector ranks sources by estimated goodness for a query, best first.
+// Ties break by source ID for determinism.
+type Selector interface {
+	Name() string
+	Rank(q *query.Query, sources []SourceInfo) []Ranked
+}
+
+// probeTerm is a query term reduced to what a summary can answer.
+type probeTerm struct {
+	field  attr.Field
+	tag    lang.Tag
+	words  []string
+	weight float64
+}
+
+// probes extracts the query's ranking terms (or filter terms for
+// filter-only queries) as summary probes, pushing each word through the
+// summary's processing flags (stemming, case folding) so probe vocabulary
+// matches summary vocabulary.
+func probes(q *query.Query, s *meta.ContentSummary) []probeTerm {
+	expr := q.Ranking
+	if expr == nil {
+		expr = q.Filter
+	}
+	if expr == nil {
+		return nil
+	}
+	var out []probeTerm
+	for _, t := range expr.Terms(nil) {
+		p := probeTerm{
+			field:  t.EffectiveField(),
+			tag:    t.Value.Resolve(q.DefaultLanguage),
+			weight: t.EffectiveWeight(),
+		}
+		for _, w := range splitWords(t.Value.Text) {
+			if !s.CaseSensitive {
+				w = lowerASCII(w)
+			}
+			if s.Stemming {
+				w = text.Stem(w)
+			}
+			p.words = append(p.words, w)
+		}
+		if len(p.words) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitWords(s string) []string {
+	tok, _ := text.LookupTokenizer("Acme-2")
+	raw := tok.Tokenize(s)
+	words := make([]string, len(raw))
+	for i, t := range raw {
+		words[i] = t.Text
+	}
+	return words
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// dfOf sums the summary document frequency over the probe's words.
+func dfOf(s *meta.ContentSummary, p probeTerm) int {
+	df := 0
+	for _, w := range p.words {
+		df += s.DocFreq(p.field, p.tag, w)
+	}
+	return df
+}
+
+func sortRanked(out []Ranked) []Ranked {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Goodness != out[j].Goodness {
+			return out[i].Goodness > out[j].Goodness
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// VSum is the vGlOSS Sum(0) estimator: goodness is the total document-
+// frequency mass of the query terms, assuming query terms occur in
+// disjoint document sets. It overestimates but preserves ranking well.
+type VSum struct{}
+
+// Name implements Selector.
+func (VSum) Name() string { return "vGlOSS-Sum(0)" }
+
+// Rank implements Selector.
+func (VSum) Rank(q *query.Query, sources []SourceInfo) []Ranked {
+	out := make([]Ranked, 0, len(sources))
+	for _, si := range sources {
+		g := 0.0
+		if si.Summary != nil {
+			for _, p := range probes(q, si.Summary) {
+				g += p.weight * float64(dfOf(si.Summary, p))
+			}
+		}
+		out = append(out, Ranked{ID: si.ID, Goodness: g})
+	}
+	return sortRanked(out)
+}
+
+// VMax is the vGlOSS Max(0) estimator: goodness is the largest single-term
+// document frequency, assuming query terms co-occur maximally. It
+// underestimates total mass but is robust for conjunctive-looking queries.
+type VMax struct{}
+
+// Name implements Selector.
+func (VMax) Name() string { return "vGlOSS-Max(0)" }
+
+// Rank implements Selector.
+func (VMax) Rank(q *query.Query, sources []SourceInfo) []Ranked {
+	out := make([]Ranked, 0, len(sources))
+	for _, si := range sources {
+		g := 0.0
+		if si.Summary != nil {
+			for _, p := range probes(q, si.Summary) {
+				if df := p.weight * float64(dfOf(si.Summary, p)); df > g {
+					g = df
+				}
+			}
+		}
+		out = append(out, Ranked{ID: si.ID, Goodness: g})
+	}
+	return sortRanked(out)
+}
+
+// BGloss is the bGlOSS estimator for Boolean conjunctive queries: the
+// expected answer size under term-independence, |DB|·Π(df_i/|DB|).
+type BGloss struct{}
+
+// Name implements Selector.
+func (BGloss) Name() string { return "bGlOSS" }
+
+// Rank implements Selector.
+func (BGloss) Rank(q *query.Query, sources []SourceInfo) []Ranked {
+	out := make([]Ranked, 0, len(sources))
+	for _, si := range sources {
+		g := 0.0
+		if si.Summary != nil && si.Summary.NumDocs > 0 {
+			n := float64(si.Summary.NumDocs)
+			g = n
+			ps := probes(q, si.Summary)
+			if len(ps) == 0 {
+				g = 0
+			}
+			for _, p := range ps {
+				g *= float64(dfOf(si.Summary, p)) / n
+			}
+		}
+		out = append(out, Ranked{ID: si.ID, Goodness: g})
+	}
+	return sortRanked(out)
+}
+
+// Random is the no-information baseline: a deterministic pseudo-random
+// shuffle seeded per query, so experiments are reproducible.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Selector.
+func (Random) Name() string { return "random" }
+
+// Rank implements Selector.
+func (r Random) Rank(q *query.Query, sources []SourceInfo) []Ranked {
+	out := make([]Ranked, 0, len(sources))
+	for _, si := range sources {
+		out = append(out, Ranked{ID: si.ID})
+	}
+	seed := r.Seed
+	if q.Ranking != nil {
+		for _, c := range q.Ranking.String() {
+			seed = seed*31 + int64(c)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Oracle ranks sources by externally supplied true merit; it is the upper
+// bound the estimators are measured against (Rn of the oracle is 1 by
+// construction).
+type Oracle struct {
+	Merit map[string]float64
+}
+
+// Name implements Selector.
+func (Oracle) Name() string { return "oracle" }
+
+// Rank implements Selector.
+func (o Oracle) Rank(_ *query.Query, sources []SourceInfo) []Ranked {
+	out := make([]Ranked, 0, len(sources))
+	for _, si := range sources {
+		out = append(out, Ranked{ID: si.ID, Goodness: o.Merit[si.ID]})
+	}
+	return sortRanked(out)
+}

@@ -1,0 +1,110 @@
+package gloss
+
+import (
+	"testing"
+)
+
+func TestVSumLDegeneratesToMass(t *testing.T) {
+	srcs := testSources()
+	q := rankQuery(t, `list((body-of-text "databases") (body-of-text "distributed"))`)
+	// At l=0 every matching document counts: goodness is the summed df,
+	// matching VSum's ordering exactly.
+	l0 := VSumL{L: 0}.Rank(q, srcs)
+	plain := VSum{}.Rank(q, srcs)
+	for i := range l0 {
+		if l0[i].ID != plain[i].ID {
+			t.Fatalf("Sum(0) order diverges from VSum: %v vs %v", order(l0), order(plain))
+		}
+	}
+	if l0[0].Goodness != 800+400 {
+		t.Errorf("cs Sum(0) goodness = %g, want 1200", l0[0].Goodness)
+	}
+}
+
+func TestVSumLThresholdFiltersWeakTerms(t *testing.T) {
+	srcs := testSources()
+	q := rankQuery(t, `list((body-of-text "databases") (body-of-text "tomato"))`)
+	// "databases" at garden has df 2 of 1000 docs: high idf but avg tf
+	// 1.5 — its weight is modest. A very high threshold excludes weak
+	// terms entirely; goodness drops monotonically with l.
+	low := VSumL{L: 0}.Rank(q, srcs)
+	high := VSumL{L: 100}.Rank(q, srcs)
+	byID := func(rs []Ranked, id string) float64 {
+		for _, r := range rs {
+			if r.ID == id {
+				return r.Goodness
+			}
+		}
+		t.Fatalf("source %s missing", id)
+		return 0
+	}
+	for _, id := range []string{"cs", "garden", "mixed"} {
+		if byID(high, id) > byID(low, id) {
+			t.Errorf("%s: goodness rose with threshold: %g > %g", id, byID(high, id), byID(low, id))
+		}
+	}
+	// An absurd threshold zeroes everything.
+	for _, r := range (VSumL{L: 1e9}).Rank(q, srcs) {
+		if r.Goodness != 0 {
+			t.Errorf("%s goodness %g at l=1e9", r.ID, r.Goodness)
+		}
+	}
+}
+
+func TestVMaxLOverlapStepFunction(t *testing.T) {
+	// One source, two terms: df 10 (weight high) and df 100 (weight low).
+	srcs := []SourceInfo{{ID: "s", Summary: summary(1000, false, map[string][2]int{
+		"rare":   {40, 10},   // avg tf 4, df 10 -> strong weight
+		"common": {150, 100}, // avg tf 1.5, df 100 -> weaker
+	})}}
+	// Under maximal overlap: 10 docs contain both terms, 90 docs contain
+	// only "common".
+	q := rankQuery(t, `list((body-of-text "rare") (body-of-text "common"))`)
+	all := VMaxL{L: 0}.Rank(q, srcs)
+	if all[0].Goodness != 100 {
+		t.Errorf("Max(0) goodness = %g, want 100 (union of overlapping sets)", all[0].Goodness)
+	}
+	// A threshold above the weak term's weight but below the pair's
+	// combined weight keeps only the 10-document overlap block.
+	wRare := estTermWeight(40, 10, 1000)
+	wCommon := estTermWeight(150, 100, 1000)
+	if wRare <= wCommon {
+		t.Fatalf("premise: rare %g should outweigh common %g", wRare, wCommon)
+	}
+	mid := VMaxL{L: wCommon + 0.01}.Rank(q, srcs)
+	if mid[0].Goodness != 10 {
+		t.Errorf("Max(mid) goodness = %g, want 10 (only the overlap block)", mid[0].Goodness)
+	}
+	// Above the combined weight nothing qualifies.
+	top := VMaxL{L: wRare + wCommon + 1}.Rank(q, srcs)
+	if top[0].Goodness != 0 {
+		t.Errorf("Max(high) goodness = %g, want 0", top[0].Goodness)
+	}
+}
+
+func TestThresholdEstimatorsHandleMissingSummaries(t *testing.T) {
+	srcs := []SourceInfo{{ID: "dark"}}
+	q := rankQuery(t, `list((body-of-text "x"))`)
+	if g := (VSumL{}).Rank(q, srcs)[0].Goodness; g != 0 {
+		t.Errorf("VSumL dark goodness = %g", g)
+	}
+	if g := (VMaxL{}).Rank(q, srcs)[0].Goodness; g != 0 {
+		t.Errorf("VMaxL dark goodness = %g", g)
+	}
+	if (VSumL{L: 0.5}).Name() != "vGlOSS-Sum(l=0.5)" {
+		t.Errorf("name = %s", VSumL{L: 0.5}.Name())
+	}
+	if (VMaxL{}).Name() != "vGlOSS-Max(l=0)" {
+		t.Errorf("name = %s", VMaxL{}.Name())
+	}
+}
+
+func TestEstTermWeight(t *testing.T) {
+	if estTermWeight(0, 0, 100) != 0 || estTermWeight(10, 0, 100) != 0 || estTermWeight(10, 5, 0) != 0 {
+		t.Error("degenerate inputs should weigh 0")
+	}
+	// Rarer terms weigh more at equal postings density.
+	if estTermWeight(20, 10, 1000) <= estTermWeight(200, 100, 1000) {
+		t.Error("idf ordering violated")
+	}
+}

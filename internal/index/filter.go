@@ -1,0 +1,181 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"starts/internal/attr"
+	"starts/internal/query"
+)
+
+// EvalFilter evaluates a filter expression and returns the set of matching
+// document IDs. The expression should already have been capability-
+// rewritten by the engine (stop-word-only terms stripped); a term that
+// still eliminates entirely under opts matches nothing.
+func (ix *Index) EvalFilter(e query.Expr, opts LookupOptions) (map[int]bool, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.evalFilterLocked(e, opts)
+}
+
+func (ix *Index) evalFilterLocked(e query.Expr, opts LookupOptions) (map[int]bool, error) {
+	switch n := e.(type) {
+	case *query.TermExpr:
+		m, err := ix.lookupLocked(n.Term, opts)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[int]bool, len(m.Docs))
+		for id := range m.Docs {
+			set[id] = true
+		}
+		return set, nil
+	case *query.Bin:
+		l, err := ix.evalFilterLocked(n.L, opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ix.evalFilterLocked(n.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case query.OpAnd:
+			return intersect(l, r), nil
+		case query.OpOr:
+			return union(l, r), nil
+		case query.OpAndNot:
+			return subtract(l, r), nil
+		default:
+			return nil, fmt.Errorf("index: unknown operator %q", n.Op)
+		}
+	case *query.Prox:
+		return ix.evalProxLocked(n, opts)
+	case *query.List:
+		return nil, fmt.Errorf("index: list operator reached filter evaluation")
+	default:
+		return nil, fmt.Errorf("index: unknown filter node %T", e)
+	}
+}
+
+// evalProxLocked evaluates a proximity constraint. Proximity is positional
+// and therefore field-local: when both terms name concrete, different
+// fields the constraint cannot hold; "any"-field terms are tried in every
+// text field.
+func (ix *Index) evalProxLocked(p *query.Prox, opts LookupOptions) (map[int]bool, error) {
+	lf := p.L.EffectiveField()
+	rf := p.R.EffectiveField()
+	var fields []attr.Field
+	switch {
+	case lf == attr.FieldAny && rf == attr.FieldAny:
+		fields = TextFields
+	case lf == attr.FieldAny:
+		fields = []attr.Field{rf}
+	case rf == attr.FieldAny:
+		fields = []attr.Field{lf}
+	case lf == rf:
+		fields = []attr.Field{lf}
+	default:
+		return map[int]bool{}, nil
+	}
+	out := map[int]bool{}
+	for _, f := range fields {
+		if !isTextField(f) {
+			return nil, fmt.Errorf("index: prox requires text fields, found %q", f)
+		}
+		lm, _, err := ix.lookupTextField(f, p.L.Term, opts)
+		if err != nil {
+			return nil, err
+		}
+		rm, _, err := ix.lookupTextField(f, p.R.Term, opts)
+		if err != nil {
+			return nil, err
+		}
+		for id, li := range lm {
+			ri := rm[id]
+			if ri == nil {
+				continue
+			}
+			if proxSatisfied(li.Positions, ri.Positions, p.Dist, p.Ordered) {
+				out[id] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// proxSatisfied reports whether some pair of positions satisfies the
+// word-distance constraint: at most dist words between the terms, with the
+// left term first when ordered.
+func proxSatisfied(lpos, rpos []int, dist int, ordered bool) bool {
+	for _, lp := range lpos {
+		// Right-position window for ordered: (lp, lp+dist+1].
+		i := sort.SearchInts(rpos, lp+1)
+		if i < len(rpos) && rpos[i] <= lp+dist+1 {
+			return true
+		}
+		if !ordered {
+			// Window [lp-dist-1, lp).
+			j := sort.SearchInts(rpos, lp-dist-1)
+			if j < len(rpos) && rpos[j] < lp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isTextField(f attr.Field) bool {
+	for _, tf := range TextFields {
+		if f == tf {
+			return true
+		}
+	}
+	return false
+}
+
+func intersect(a, b map[int]bool) map[int]bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := map[int]bool{}
+	for id := range a {
+		if b[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func union(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for id := range a {
+		out[id] = true
+	}
+	for id := range b {
+		out[id] = true
+	}
+	return out
+}
+
+func subtract(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for id := range a {
+		if !b[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// AllDocs returns the set of every document ID, the implicit filter result
+// of a query with no filter expression.
+func (ix *Index) AllDocs() map[int]bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[int]bool, len(ix.docs))
+	for id := range ix.docs {
+		out[id] = true
+	}
+	return out
+}

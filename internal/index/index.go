@@ -1,0 +1,251 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"starts/internal/attr"
+	"starts/internal/text"
+)
+
+// Posting records one document's occurrences of one term in one field.
+type Posting struct {
+	DocID     int
+	Positions []int // word positions, ascending
+}
+
+// Freq returns the term frequency (number of occurrences).
+func (p Posting) Freq() int { return len(p.Positions) }
+
+// postingList is the per-term entry of a field index.
+type postingList struct {
+	docs []Posting // ascending DocID
+}
+
+// fieldIndex holds the postings and auxiliary vocabularies of one field.
+type fieldIndex struct {
+	postings map[string]*postingList
+	// stems maps Porter stems to the vocabulary terms sharing them,
+	// honoring the stem modifier on engines that do not stem their index.
+	stems map[string][]string
+	// sounds maps soundex codes to vocabulary terms, for the phonetic
+	// modifier.
+	sounds map[string][]string
+	// folds maps lower-cased spellings to vocabulary terms, so that
+	// case-sensitive indexes can still serve default (case-insensitive)
+	// matches.
+	folds map[string][]string
+	// vocab is the sorted vocabulary, built lazily for truncation scans.
+	// vocabMu guards the lazy build, which happens under the index's read
+	// lock (concurrent readers may race to build it).
+	vocabMu  sync.Mutex
+	vocab    []string
+	vocabOK  bool
+	totalLen int // total token count across docs (for averages)
+}
+
+func newFieldIndex() *fieldIndex {
+	return &fieldIndex{
+		postings: map[string]*postingList{},
+		stems:    map[string][]string{},
+		sounds:   map[string][]string{},
+		folds:    map[string][]string{},
+	}
+}
+
+// Index is an in-memory inverted index over a document collection, built
+// under one analyzer configuration (tokenizer, case policy, stemming).
+// Stop words are always indexed so that queries may turn stop-word
+// elimination off when the engine allows it; elimination is applied at
+// query time.
+type Index struct {
+	mu       sync.RWMutex
+	analyzer *text.Analyzer
+	docs     []*Document
+	byURL    map[string]int
+	fields   map[attr.Field]*fieldIndex
+	counts   []int // per-doc token counts under this tokenizer
+}
+
+// New returns an empty index using the given analyzer. The analyzer's
+// stop list is NOT applied at indexing time (see Index); its tokenizer,
+// case policy and stemming are.
+func New(a *text.Analyzer) *Index {
+	return &Index{
+		analyzer: a,
+		byURL:    map[string]int{},
+		fields:   map[attr.Field]*fieldIndex{},
+	}
+}
+
+// Analyzer returns the index's analyzer.
+func (ix *Index) Analyzer() *text.Analyzer { return ix.analyzer }
+
+// Add indexes a document and returns its document ID. Adding a document
+// with the linkage of an existing document replaces nothing and fails:
+// documents are immutable once indexed.
+func (ix *Index) Add(d *Document) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.byURL[d.Linkage]; dup {
+		return 0, fmt.Errorf("index: document %q already indexed", d.Linkage)
+	}
+	id := len(ix.docs)
+	ix.docs = append(ix.docs, d)
+	ix.byURL[d.Linkage] = id
+	total := 0
+	for _, f := range TextFields {
+		toks := ix.analyzer.AnalyzeAll(d.FieldText(f))
+		total += ix.analyzer.CountTokens(d.FieldText(f))
+		if len(toks) == 0 {
+			continue
+		}
+		fi := ix.fields[f]
+		if fi == nil {
+			fi = newFieldIndex()
+			ix.fields[f] = fi
+		}
+		fi.addDoc(id, toks)
+	}
+	ix.counts = append(ix.counts, total)
+	return id, nil
+}
+
+func (fi *fieldIndex) addDoc(id int, toks []text.Token) {
+	byTerm := map[string][]int{}
+	for _, t := range toks {
+		byTerm[t.Text] = append(byTerm[t.Text], t.Pos)
+	}
+	for term, positions := range byTerm {
+		pl := fi.postings[term]
+		if pl == nil {
+			pl = &postingList{}
+			fi.postings[term] = pl
+			// New vocabulary entry: extend the auxiliary maps.
+			st := text.Stem(term)
+			fi.stems[st] = append(fi.stems[st], term)
+			if sx := text.Soundex(term); sx != "" {
+				fi.sounds[sx] = append(fi.sounds[sx], term)
+			}
+			fold := foldTerm(term)
+			fi.folds[fold] = append(fi.folds[fold], term)
+			fi.vocabOK = false
+		}
+		sort.Ints(positions)
+		pl.docs = append(pl.docs, Posting{DocID: id, Positions: positions})
+		fi.totalLen += len(positions)
+	}
+}
+
+func foldTerm(s string) string {
+	b := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Doc returns the document with the given ID.
+func (ix *Index) Doc(id int) (*Document, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.docs) {
+		return nil, fmt.Errorf("index: no document %d (collection has %d)", id, len(ix.docs))
+	}
+	return ix.docs[id], nil
+}
+
+// ByLinkage returns the document ID for a URL.
+func (ix *Index) ByLinkage(url string) (int, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	id, ok := ix.byURL[url]
+	return id, ok
+}
+
+// TokenCount returns the document's total token count, the DocCount
+// statistic of query results.
+func (ix *Index) TokenCount(id int) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.counts) {
+		return 0
+	}
+	return ix.counts[id]
+}
+
+// DocFreq returns the number of documents containing term in field (after
+// the index's own normalization).
+func (ix *Index) DocFreq(f attr.Field, term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fi := ix.fields[attr.Normalize(f)]
+	if fi == nil {
+		return 0
+	}
+	pl := fi.postings[ix.analyzer.NormalizeTerm(term)]
+	if pl == nil {
+		return 0
+	}
+	return len(pl.docs)
+}
+
+// VocabTerms calls fn for every (field, term) with its posting statistics:
+// total postings and document frequency. Content summaries are built from
+// this walk. Iteration order is sorted by field then term.
+func (ix *Index) VocabTerms(fn func(f attr.Field, term string, postings, docFreq int)) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fields := make([]attr.Field, 0, len(ix.fields))
+	for f := range ix.fields {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i] < fields[j] })
+	for _, f := range fields {
+		fi := ix.fields[f]
+		terms := make([]string, 0, len(fi.postings))
+		for t := range fi.postings {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		for _, t := range terms {
+			pl := fi.postings[t]
+			total := 0
+			for _, p := range pl.docs {
+				total += p.Freq()
+			}
+			fn(f, t, total, len(pl.docs))
+		}
+	}
+}
+
+// sortedVocab returns the field's vocabulary, sorted, building it lazily.
+// Callers hold the index's read lock; the build itself is serialized.
+func (fi *fieldIndex) sortedVocab() []string {
+	fi.vocabMu.Lock()
+	defer fi.vocabMu.Unlock()
+	if !fi.vocabOK {
+		fi.vocab = fi.vocab[:0]
+		for t := range fi.postings {
+			fi.vocab = append(fi.vocab, t)
+		}
+		sort.Strings(fi.vocab)
+		fi.vocabOK = true
+	}
+	return fi.vocab
+}

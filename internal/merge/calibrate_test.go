@@ -1,0 +1,139 @@
+package merge
+
+import (
+	"math"
+	"testing"
+
+	"starts/internal/engine"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// sampleSource builds a source over the canonical sample collection with
+// the given scorer, so its sample results are directly comparable.
+func sampleSource(t *testing.T, id string, scorer engine.Scorer) *source.Source {
+	t.Helper()
+	cfg := engine.NewVectorConfig()
+	cfg.Scorer = scorer
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := source.New(id, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source's own collection content does not matter for
+	// SampleResults (it probes a fresh engine), but Add something so the
+	// source is realistic.
+	if err := s.AddAll(source.SampleCollection()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFitRecoversLinearMap(t *testing.T) {
+	ref := sampleSource(t, "ref", engine.TFIDF{})
+	scaled := sampleSource(t, "scaled", engine.TopK{})
+	refS, err := ref.SampleResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledS, err := scaled.SampleResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Fit(scaledS, refS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Samples < 4 {
+		t.Errorf("fit used only %d samples", cal.Samples)
+	}
+	if cal.Slope <= 0 {
+		t.Errorf("slope = %g, want positive (monotone rankers)", cal.Slope)
+	}
+	// Calibrated TopK scores should land near the reference scale: the
+	// calibrated top score must be far below 1000 and nonnegative.
+	top := cal.Apply(1000)
+	if top < 0 || top > 2 {
+		t.Errorf("calibrated top score = %g, want roughly the [0,1) reference scale", top)
+	}
+	// Apply clamps below zero.
+	if got := (Calibration{Slope: 1, Intercept: -10}).Apply(1); got != 0 {
+		t.Errorf("Apply clamp = %g", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	ref := sampleSource(t, "ref", engine.TFIDF{})
+	refS, err := ref.SampleResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(refS[:1], refS); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit(nil, nil); err == nil {
+		t.Error("empty streams accepted")
+	}
+	// Disjoint documents yield no joined pairs.
+	disjoint := []*source.SampleEntry{{
+		Query:   refS[0].Query,
+		Results: &result.Results{Documents: []*result.Document{docFor("http://elsewhere", 1)}},
+	}}
+	refOne := []*source.SampleEntry{{
+		Query:   refS[0].Query,
+		Results: refS[0].Results,
+	}}
+	if _, err := Fit(disjoint, refOne); err == nil {
+		t.Error("no joined pairs accepted")
+	}
+}
+
+func TestFitConstantScores(t *testing.T) {
+	// A source whose sample scores are all identical carries no slope
+	// information: the fit maps everything to the mean reference score.
+	q := query.New()
+	r, err := query.ParseRanking(`list("x")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Ranking = r
+	mk := func(scores ...float64) []*source.SampleEntry {
+		var docs []*result.Document
+		for i, s := range scores {
+			docs = append(docs, docFor("http://d/"+string(rune('a'+i)), s))
+		}
+		return []*source.SampleEntry{{Query: q, Results: &result.Results{Documents: docs}}}
+	}
+	cal, err := Fit(mk(5, 5, 5), mk(0.2, 0.4, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Slope != 0 || math.Abs(cal.Intercept-0.4) > 1e-9 {
+		t.Errorf("constant fit = %+v, want slope 0 intercept 0.4", cal)
+	}
+}
+
+func docFor(url string, score float64) *result.Document {
+	d := doc(url, score)
+	return d
+}
+
+func TestCalibratedFallsBackWithoutFit(t *testing.T) {
+	q := rankQuery(t, `list((any "x"))`)
+	inputs := []SourceResult{
+		{SourceID: "known", Results: &result.Results{Documents: []*result.Document{doc("http://k/1", 100)}}},
+		{SourceID: "unknown", Results: &result.Results{Documents: []*result.Document{doc("http://u/1", 0.5)}}},
+	}
+	c := Calibrated{BySource: map[string]Calibration{
+		"known": {Slope: 0.001, Intercept: 0}, // 100 -> 0.1
+	}}
+	got := c.Merge(q, inputs)
+	// known calibrates to 0.1; unknown stays raw at 0.5 and wins.
+	if got[0].Linkage() != "http://u/1" {
+		t.Errorf("order = %v", urls(got))
+	}
+}

@@ -1,0 +1,285 @@
+// Package merge implements rank merging — the third metasearch task.
+// Sources rank with secret, mutually incompatible algorithms (Section
+// 3.2), so a metasearcher cannot compare raw scores. The strategies here
+// span the design space the paper discusses: naive raw-score merging (the
+// known-broken baseline), score normalization via the exported ScoreRange,
+// round-robin interleaving, recomputing scores from the TermStats that
+// STARTS requires sources to return (Example 9's approach), and
+// calibrating black-box rankers from their sample-database results.
+package merge
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// SourceResult is one source's response plus the harvested context a
+// merger may use.
+type SourceResult struct {
+	SourceID string
+	Meta     *meta.SourceMeta
+	Summary  *meta.ContentSummary
+	Results  *result.Results
+}
+
+// Strategy merges per-source results into one document rank.
+type Strategy interface {
+	Name() string
+	// Merge returns the fused rank, best first, with duplicates (by
+	// linkage) collapsed.
+	Merge(q *query.Query, inputs []SourceResult) []*result.Document
+}
+
+// merged is the working record for one fused document.
+type merged struct {
+	doc   *result.Document
+	score float64
+	order int // arrival order for stable ties
+}
+
+// fuse collapses duplicates by linkage, keeping the best score and
+// accumulating source attributions, then sorts by score (descending) with
+// arrival order as the tiebreak.
+func fuse(items []*merged) []*result.Document {
+	byURL := map[string]*merged{}
+	var keep []*merged
+	for _, it := range items {
+		url := it.doc.Linkage()
+		if prev, ok := byURL[url]; ok {
+			prev.doc.Sources = appendMissing(prev.doc.Sources, it.doc.Sources)
+			if it.score > prev.score {
+				prev.score = it.score
+				prev.doc.RawScore = it.doc.RawScore
+				prev.doc.TermStats = it.doc.TermStats
+			}
+			continue
+		}
+		cp := *it
+		byURL[url] = &cp
+		keep = append(keep, &cp)
+	}
+	sort.SliceStable(keep, func(i, j int) bool {
+		if keep[i].score != keep[j].score {
+			return keep[i].score > keep[j].score
+		}
+		return keep[i].order < keep[j].order
+	})
+	out := make([]*result.Document, len(keep))
+	for i, it := range keep {
+		out[i] = it.doc
+	}
+	return out
+}
+
+func appendMissing(dst []string, add []string) []string {
+	for _, s := range add {
+		found := false
+		for _, have := range dst {
+			if have == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// RawScore is the naive baseline: compare raw scores across sources as if
+// they were commensurable. The paper's Section 3.2 explains why this is
+// wrong; experiment X3 measures how wrong.
+type RawScore struct{}
+
+// Name implements Strategy.
+func (RawScore) Name() string { return "raw-score" }
+
+// Merge implements Strategy.
+func (RawScore) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
+	var items []*merged
+	for _, in := range inputs {
+		for _, d := range in.Results.Documents {
+			items = append(items, &merged{doc: d, score: d.RawScore, order: len(items)})
+		}
+	}
+	return fuse(items)
+}
+
+// Scaled normalizes each source's scores onto [0,1] using the ScoreRange
+// the source exports in its metadata, falling back to the observed maximum
+// for unbounded ranges.
+type Scaled struct{}
+
+// Name implements Strategy.
+func (Scaled) Name() string { return "scaled-score" }
+
+// Merge implements Strategy.
+func (Scaled) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
+	var items []*merged
+	for _, in := range inputs {
+		lo, hi := 0.0, 0.0
+		if in.Meta != nil {
+			lo, hi = in.Meta.ScoreMin, in.Meta.ScoreMax
+		}
+		if in.Meta == nil || math.IsInf(hi, 1) || hi <= lo {
+			lo = 0
+			hi = 0
+			for _, d := range in.Results.Documents {
+				if d.RawScore > hi {
+					hi = d.RawScore
+				}
+			}
+		}
+		span := hi - lo
+		for _, d := range in.Results.Documents {
+			s := 0.0
+			if span > 0 {
+				s = (d.RawScore - lo) / span
+			}
+			items = append(items, &merged{doc: d, score: s, order: len(items)})
+		}
+	}
+	return fuse(items)
+}
+
+// RoundRobin interleaves the per-source ranks position by position,
+// trusting each source's ordering but nothing about its scores.
+type RoundRobin struct{}
+
+// Name implements Strategy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Merge implements Strategy.
+func (RoundRobin) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
+	var items []*merged
+	maxLen := 0
+	for _, in := range inputs {
+		if len(in.Results.Documents) > maxLen {
+			maxLen = len(in.Results.Documents)
+		}
+	}
+	for pos := 0; pos < maxLen; pos++ {
+		for _, in := range inputs {
+			if pos < len(in.Results.Documents) {
+				d := in.Results.Documents[pos]
+				// Score encodes the interleave position so fuse sorts it.
+				items = append(items, &merged{doc: d, score: -float64(pos), order: len(items)})
+			}
+		}
+	}
+	return fuse(items)
+}
+
+// TermStats recomputes a global score for every document from the term
+// statistics STARTS requires in query results — term frequency and
+// per-source document frequency — ranking all documents as if they lived
+// in one combined collection (the approach of the paper's Example 9).
+type TermStats struct {
+	// LocalIDF, when set, uses each source's own document frequencies
+	// instead of globally aggregated ones — the ablation knob of
+	// experiment X3.
+	LocalIDF bool
+}
+
+// Name implements Strategy.
+func (t TermStats) Name() string {
+	if t.LocalIDF {
+		return "term-stats-local-idf"
+	}
+	return "term-stats"
+}
+
+// Merge implements Strategy.
+func (t TermStats) Merge(q *query.Query, inputs []SourceResult) []*result.Document {
+	// Aggregate collection statistics: total documents and global df per
+	// term (keyed by the term's printed form, which includes the field).
+	totalDocs := 0
+	globalDF := map[string]int{}
+	for _, in := range inputs {
+		n := 0
+		if in.Summary != nil {
+			n = in.Summary.NumDocs
+		} else {
+			n = len(in.Results.Documents)
+		}
+		totalDocs += n
+		perSource := map[string]int{}
+		for _, d := range in.Results.Documents {
+			for _, s := range d.TermStats {
+				key := termKey(s.Term)
+				if s.DocFreq > perSource[key] {
+					perSource[key] = s.DocFreq
+				}
+			}
+		}
+		for key, df := range perSource {
+			globalDF[key] += df
+		}
+	}
+	weights := termWeights(q)
+
+	var items []*merged
+	for _, in := range inputs {
+		localN := 0
+		if in.Summary != nil {
+			localN = in.Summary.NumDocs
+		}
+		for _, d := range in.Results.Documents {
+			score := 0.0
+			for _, s := range d.TermStats {
+				if s.Freq == 0 {
+					continue
+				}
+				n, df := totalDocs, globalDF[termKey(s.Term)]
+				if t.LocalIDF {
+					n, df = localN, s.DocFreq
+					if n == 0 {
+						n = len(in.Results.Documents)
+					}
+				}
+				if df == 0 {
+					continue
+				}
+				w := (1 + math.Log(float64(s.Freq))) * math.Log(1+float64(n)/float64(df))
+				wt, ok := weights[termKey(s.Term)]
+				if !ok {
+					wt = 1 // a reported term missing from the query keeps unit weight
+				}
+				score += wt * w
+			}
+			if d.Count > 1 {
+				score /= math.Sqrt(float64(d.Count))
+			}
+			items = append(items, &merged{doc: d, score: score, order: len(items)})
+		}
+	}
+	return fuse(items)
+}
+
+// termKey normalizes a term for cross-source aggregation: field plus
+// lower-cased text.
+func termKey(t query.Term) string {
+	return string(t.EffectiveField()) + "\x00" + strings.ToLower(t.Value.Text)
+}
+
+// termWeights extracts the query's per-term ranking weights.
+func termWeights(q *query.Query) map[string]float64 {
+	w := map[string]float64{}
+	expr := q.Ranking
+	if expr == nil {
+		expr = q.Filter
+	}
+	if expr == nil {
+		return w
+	}
+	for _, t := range expr.Terms(nil) {
+		w[termKey(t)] = t.EffectiveWeight()
+	}
+	return w
+}

@@ -1,0 +1,251 @@
+package meta
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"starts/internal/attr"
+	"starts/internal/lang"
+	"starts/internal/soif"
+)
+
+// example10Meta reconstructs the SMetaAttributes object of the paper's
+// Example 10 for source Source-1.
+func example10Meta() *SourceMeta {
+	return &SourceMeta{
+		SourceID: "Source-1",
+		FieldsSupported: []FieldSupport{
+			{Set: attr.SetBasic1, Field: attr.FieldAuthor},
+		},
+		ModifiersSupported: []ModifierSupport{
+			{Set: attr.SetBasic1, Mod: attr.ModPhonetic},
+		},
+		Combinations: []Combination{
+			{
+				Field: FieldSupport{Set: attr.SetBasic1, Field: attr.FieldAuthor},
+				Mod:   ModifierSupport{Set: attr.SetBasic1, Mod: attr.ModPhonetic},
+			},
+		},
+		QueryParts:            PartsBoth,
+		ScoreMin:              0,
+		ScoreMax:              1,
+		RankingAlgorithmID:    "Acme-1",
+		SampleDatabaseResults: "http://www-db.stanford.edu/sample_results",
+		StopWords:             []string{"a", "an", "the"},
+		TurnOffStopWords:      true,
+		SourceLanguages:       []lang.Tag{lang.EnglishUS, lang.Spanish},
+		SourceName:            "Stanford DB Group",
+		Linkage:               "http://www-db.stanford.edu/cgi-bin/query",
+		ContentSummaryLinkage: "ftp://www-db.stanford.edu/cont_sum.txt",
+		DateChanged:           time.Date(1996, 3, 31, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// TestPaperExample10 is experiment E9: the Example 10 metadata object
+// encodes with the paper's attribute spellings and values, and decodes
+// back to the same metadata.
+func TestPaperExample10(t *testing.T) {
+	m := example10Meta()
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"@SMetaAttributes{",
+		"Version{10}: STARTS 1.0",
+		"SourceID{8}: Source-1",
+		"FieldsSupported{16}: [basic-1 author]",
+		"ModifiersSupported{18}: {basic-1 phonetic}",
+		"FieldModifierCombinations{37}: ([basic-1 author] {basic-1 phonetic})",
+		"QueryPartsSupported{2}: RF",
+		"ScoreRange{7}: 0.0 1.0",
+		"RankingAlgorithmID{6}: Acme-1",
+		"DefaultMetaAttributeSet{8}: mbasic-1",
+		"source-languages{8}: en-US es",
+		"source-name{17}: Stanford DB Group",
+		"linkage{40}: http://www-db.stanford.edu/cgi-bin/query",
+		"content-summary-linkage{38}: ftp://www-db.stanford.edu/cont_sum.txt",
+		"date-changed{10}: 1996-03-31",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("encoded metadata missing %q\n%s", want, text)
+		}
+	}
+
+	back, err := ParseMeta(data)
+	if err != nil {
+		t.Fatalf("ParseMeta: %v", err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+// TestPaperExample10Verbatim decodes metadata using the paper's exact
+// spelling "phonetics" for the phonetic modifier.
+func TestPaperExample10Verbatim(t *testing.T) {
+	o := soif.New(MetaType)
+	o.Add("SourceID", "Source-1")
+	o.Add("FieldsSupported", "[basic-1 author]")
+	o.Add("ModifiersSupported", "{basic-1 phonetics}")
+	o.Add("FieldModifierCombinations", "([basic-1 author] {basic-1 phonetics})")
+	o.Add("QueryPartsSupported", "RF")
+	o.Add("ScoreRange", "0.0 1.0")
+	o.Add("RankingAlgorithmID", "Acme-1")
+	m, err := MetaFromSOIF(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ModifiersSupported[0].Mod != attr.ModPhonetic {
+		t.Errorf("phonetics not normalized: %v", m.ModifiersSupported[0].Mod)
+	}
+	if !m.AllowsCombination(attr.FieldAuthor, attr.ModPhonetic) {
+		t.Error("combination not recognized")
+	}
+}
+
+func TestCapabilityQueries(t *testing.T) {
+	m := example10Meta()
+	// Required fields are always supported even when unlisted.
+	for _, f := range attr.RequiredFields() {
+		if !m.SupportsField(f) {
+			t.Errorf("required field %s not supported", f)
+		}
+	}
+	if !m.SupportsField(attr.FieldAuthor) {
+		t.Error("listed optional field not supported")
+	}
+	if m.SupportsField(attr.FieldBodyOfText) {
+		t.Error("unlisted optional field reported supported")
+	}
+	if !m.SupportsModifier(attr.ModPhonetic) || m.SupportsModifier(attr.ModStem) {
+		t.Error("modifier support wrong")
+	}
+	if m.AllowsCombination(attr.FieldTitle, attr.ModPhonetic) {
+		t.Error("unlisted combination allowed")
+	}
+	if !PartsBoth.SupportsFilter() || !PartsBoth.SupportsRanking() {
+		t.Error("RF parts wrong")
+	}
+	if PartsRanking.SupportsFilter() || !PartsRanking.SupportsRanking() {
+		t.Error("R parts wrong")
+	}
+	if !PartsFilter.SupportsFilter() || PartsFilter.SupportsRanking() {
+		t.Error("F parts wrong")
+	}
+}
+
+func TestScoreRangeInfinity(t *testing.T) {
+	m := &SourceMeta{
+		SourceID:           "S",
+		ScoreMin:           math.Inf(-1),
+		ScoreMax:           math.Inf(1),
+		RankingAlgorithmID: "X",
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ScoreRange{19}: -Infinity +Infinity") {
+		t.Errorf("infinity encoding wrong:\n%s", data)
+	}
+	back, err := ParseMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.ScoreMin, -1) || !math.IsInf(back.ScoreMax, 1) {
+		t.Errorf("infinity round trip = %g %g", back.ScoreMin, back.ScoreMax)
+	}
+}
+
+func TestMetaErrors(t *testing.T) {
+	mk := func(name, val string) *soif.Object {
+		o := soif.New(MetaType)
+		o.Add(name, val)
+		return o
+	}
+	cases := []*soif.Object{
+		soif.New("SQuery"),
+		mk("QueryPartsSupported", "X"),
+		mk("ScoreRange", "1.0"),
+		mk("ScoreRange", "abc def"),
+		mk("ScoreRange", "1.0 0.0"),
+		mk("FieldsSupported", "basic-1 author"),
+		mk("FieldsSupported", "[basic-1]"),
+		mk("FieldsSupported", "[basic-1 title not/a/tag!]"),
+		mk("ModifiersSupported", "{basic-1}"),
+		mk("FieldModifierCombinations", "[basic-1 author] {basic-1 stem}"),
+		mk("FieldModifierCombinations", "(broken"),
+		mk("TokenizerIDList", "(Acme-1)"),
+		mk("TokenizerIDList", "(Acme-1 bad tag extra)"),
+		mk("TurnOffStopWords", "Y"),
+		mk("date-changed", "March 1996"),
+		mk("date-expires", "soon"),
+		mk("source-languages", "en-US ??"),
+	}
+	for i, o := range cases {
+		if _, err := MetaFromSOIF(o); err == nil {
+			t.Errorf("case %d accepted, want error", i)
+		}
+	}
+}
+
+func TestTokenizerListRoundTrip(t *testing.T) {
+	m := &SourceMeta{
+		SourceID:           "S",
+		RankingAlgorithmID: "X",
+		Tokenizers: []TokenizerUse{
+			{ID: "Acme-1", Tag: lang.EnglishUS},
+			{ID: "Acme-2", Tag: lang.Spanish},
+		},
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "(Acme-1 en-US) (Acme-2 es)") {
+		t.Errorf("tokenizer list encoding wrong:\n%s", data)
+	}
+	back, err := ParseMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Tokenizers, m.Tokenizers) {
+		t.Errorf("round trip = %+v", back.Tokenizers)
+	}
+}
+
+func TestFieldLanguageLists(t *testing.T) {
+	m := &SourceMeta{
+		SourceID:           "S",
+		RankingAlgorithmID: "X",
+		FieldsSupported: []FieldSupport{
+			{Set: attr.SetBasic1, Field: attr.FieldTitle, Languages: []lang.Tag{lang.EnglishUS, lang.Spanish}},
+			{Set: attr.SetBasic1, Field: attr.FieldAuthor},
+		},
+		ModifiersSupported: []ModifierSupport{
+			{Set: attr.SetBasic1, Mod: attr.ModStem, Languages: []lang.Tag{lang.English}},
+		},
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "[basic-1 title en-US es] [basic-1 author]") {
+		t.Errorf("field language encoding wrong:\n%s", data)
+	}
+	back, err := ParseMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.FieldsSupported, m.FieldsSupported) {
+		t.Errorf("fields = %+v", back.FieldsSupported)
+	}
+	if !reflect.DeepEqual(back.ModifiersSupported, m.ModifiersSupported) {
+		t.Errorf("modifiers = %+v", back.ModifiersSupported)
+	}
+}

@@ -1,0 +1,199 @@
+// Package server exposes a STARTS resource over HTTP. The paper leaves
+// transport deliberately unspecified ("what transport to use generated
+// some heated debate"); this server delivers the SOIF objects over plain
+// HTTP, the transport the examples assume:
+//
+//	GET  /resource               -> @SResource
+//	GET  /sources/{id}/metadata  -> @SMetaAttributes
+//	GET  /sources/{id}/summary   -> @SContentSummary
+//	GET  /sources/{id}/sample    -> sample-database results stream
+//	POST /sources/{id}/query     -> @SQResults stream (body: @SQuery)
+//
+// All communication is sessionless and the sources are stateless, per
+// Section 4.
+package server
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/soif"
+	"starts/internal/source"
+)
+
+// ContentType is the media type used for SOIF payloads.
+const ContentType = "application/x-soif"
+
+// JSONContentType is the media type of the alternative JSON encoding,
+// served when a request's Accept header prefers it (the paper leaves the
+// wire format open; SOIF and JSON are this implementation's two).
+const JSONContentType = "application/json"
+
+// maxQueryBytes bounds the accepted query size; STARTS queries are small.
+const maxQueryBytes = 1 << 20
+
+// Server serves one resource.
+type Server struct {
+	res *source.Resource
+	mux *http.ServeMux
+}
+
+// New returns a server for the resource. baseURL (scheme://host[:port],
+// no trailing slash) is stamped into each source's exported metadata so
+// that harvested metadata points back at this server.
+func New(res *source.Resource, baseURL string) *Server {
+	for _, id := range res.SourceIDs() {
+		s, _ := res.Source(id)
+		s.SetBaseURL(baseURL + "/sources/" + id)
+	}
+	srv := &Server{res: res, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("GET /resource", srv.handleResource)
+	srv.mux.HandleFunc("GET /sources/{id}/metadata", srv.handleMetadata)
+	srv.mux.HandleFunc("GET /sources/{id}/summary", srv.handleSummary)
+	srv.mux.HandleFunc("GET /sources/{id}/sample", srv.handleSample)
+	srv.mux.HandleFunc("POST /sources/{id}/query", srv.handleQuery)
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) source(w http.ResponseWriter, r *http.Request) (*source.Source, bool) {
+	id := r.PathValue("id")
+	src, ok := s.res.Source(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown source %q", id), http.StatusNotFound)
+		return nil, false
+	}
+	return src, true
+}
+
+// wantsJSON reports whether the request prefers the JSON encoding.
+func wantsJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), JSONContentType)
+}
+
+// writeObjects delivers SOIF objects in the encoding the request asked
+// for: length-framed SOIF text by default, JSON when Accept prefers it.
+func writeObjects(w http.ResponseWriter, r *http.Request, objs []*soif.Object) {
+	var data []byte
+	var err error
+	ct := ContentType
+	if wantsJSON(r) {
+		ct = JSONContentType
+		data, err = soif.MarshalAllJSON(objs)
+	} else {
+		data, err = soif.MarshalAll(objs)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	// Content summaries in particular compress extremely well; honor
+	// gzip when the client accepts it (Go's default HTTP client does,
+	// and decompresses transparently).
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") && len(data) > 1024 {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		_, _ = gz.Write(data)
+		_ = gz.Close()
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleResource(w http.ResponseWriter, r *http.Request) {
+	writeObjects(w, r, []*soif.Object{s.res.Description().ToSOIF()})
+}
+
+func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.source(w, r)
+	if !ok {
+		return
+	}
+	writeObjects(w, r, []*soif.Object{src.Metadata().ToSOIF()})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.source(w, r)
+	if !ok {
+		return
+	}
+	writeObjects(w, r, []*soif.Object{src.ContentSummary().ToSOIF()})
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.source(w, r)
+	if !ok {
+		return
+	}
+	entries, err := src.SampleResults()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var objs []*soif.Object
+	for _, e := range entries {
+		qo, err := e.Query.ToSOIF()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		objs = append(objs, qo)
+		objs = append(objs, e.Results.ToSOIF()...)
+	}
+	writeObjects(w, r, objs)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.source(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxQueryBytes {
+		http.Error(w, "query too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var obj *soif.Object
+	if strings.Contains(r.Header.Get("Content-Type"), JSONContentType) {
+		obj = &soif.Object{}
+		err = obj.UnmarshalJSON(body)
+	} else {
+		obj, err = soif.Unmarshal(body)
+	}
+	if err != nil {
+		http.Error(w, "malformed query object: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := query.FromSOIF(obj)
+	if err != nil {
+		http.Error(w, "malformed query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Additional same-resource sources route through the resource, which
+	// eliminates duplicates; a plain query goes straight to the source.
+	var rr *result.Results
+	if len(q.Sources) > 0 {
+		rr, err = s.res.Search(src.ID(), q)
+	} else {
+		rr, err = src.Search(q)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeObjects(w, r, rr.ToSOIF())
+}

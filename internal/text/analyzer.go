@@ -1,0 +1,74 @@
+package text
+
+import "strings"
+
+// Analyzer is the per-language indexing pipeline of a search engine:
+// tokenize, optionally fold case, optionally drop stop words, optionally
+// stem. Engines expose their analyzer configuration through source
+// metadata (TokenizerIDList, StopWordList, and the content-summary flag
+// bits), which is exactly the information a metasearcher needs to
+// translate queries faithfully.
+type Analyzer struct {
+	Tokenizer     Tokenizer
+	Stop          *StopList // nil disables stop-word elimination
+	Stemming      bool
+	CaseSensitive bool
+}
+
+// NewAnalyzer returns an analyzer with the common defaults: the Acme-2
+// tokenizer, the default English stop list, stemming on, case folding on.
+func NewAnalyzer() *Analyzer {
+	tok, _ := LookupTokenizer("Acme-2")
+	return &Analyzer{Tokenizer: tok, Stop: EnglishStopWords(), Stemming: true}
+}
+
+// Fold applies the analyzer's case policy to a single word.
+func (a *Analyzer) Fold(word string) string {
+	if a.CaseSensitive {
+		return word
+	}
+	return strings.ToLower(word)
+}
+
+// NormalizeTerm applies case folding and stemming to a single word,
+// exactly as Analyze would, without stop-word elimination. Query
+// evaluation uses it to map query terms into index vocabulary.
+func (a *Analyzer) NormalizeTerm(word string) string {
+	w := a.Fold(word)
+	if a.Stemming {
+		w = Stem(w)
+	}
+	return w
+}
+
+// Analyze runs the full pipeline over text. Token positions count every
+// token the tokenizer produced, including eliminated stop words, so
+// proximity distances are preserved across stop-word removal.
+func (a *Analyzer) Analyze(text string) []Token {
+	raw := a.Tokenizer.Tokenize(text)
+	out := make([]Token, 0, len(raw))
+	for _, t := range raw {
+		if a.Stop.Contains(t.Text) {
+			continue
+		}
+		out = append(out, Token{Text: a.NormalizeTerm(t.Text), Pos: t.Pos})
+	}
+	return out
+}
+
+// AnalyzeAll is Analyze without stop-word elimination, used when a query
+// sets DropStopWords to false at a source that allows it.
+func (a *Analyzer) AnalyzeAll(text string) []Token {
+	raw := a.Tokenizer.Tokenize(text)
+	out := make([]Token, 0, len(raw))
+	for _, t := range raw {
+		out = append(out, Token{Text: a.NormalizeTerm(t.Text), Pos: t.Pos})
+	}
+	return out
+}
+
+// CountTokens returns the raw token count of text under this analyzer's
+// tokenizer, the Document-count statistic of query results.
+func (a *Analyzer) CountTokens(text string) int {
+	return len(a.Tokenizer.Tokenize(text))
+}

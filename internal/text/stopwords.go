@@ -1,0 +1,97 @@
+package text
+
+import (
+	"sort"
+	"strings"
+)
+
+// StopList is a named set of stop words for one language. Sources export
+// their stop-word list through the StopWordList metadata attribute and
+// report, via TurnOffStopWords, whether queries may disable stop-word
+// elimination — which is what lets a metasearcher run a query for the rock
+// group "The Who" against sources that would otherwise drop both words.
+type StopList struct {
+	Name  string
+	words map[string]bool
+}
+
+// NewStopList builds a stop list from words; matching is case-insensitive.
+func NewStopList(name string, words []string) *StopList {
+	sl := &StopList{Name: name, words: make(map[string]bool, len(words))}
+	for _, w := range words {
+		sl.words[strings.ToLower(w)] = true
+	}
+	return sl
+}
+
+// Contains reports whether word is a stop word.
+func (sl *StopList) Contains(word string) bool {
+	if sl == nil {
+		return false
+	}
+	return sl.words[strings.ToLower(word)]
+}
+
+// Words returns the stop words, sorted, for export in source metadata.
+func (sl *StopList) Words() []string {
+	if sl == nil {
+		return nil
+	}
+	ws := make([]string, 0, len(sl.words))
+	for w := range sl.words {
+		ws = append(ws, w)
+	}
+	sort.Strings(ws)
+	return ws
+}
+
+// Len returns the number of stop words.
+func (sl *StopList) Len() int {
+	if sl == nil {
+		return 0
+	}
+	return len(sl.words)
+}
+
+// EnglishStopWords returns the default English stop list, a compact variant
+// of the classic van Rijsbergen list.
+func EnglishStopWords() *StopList {
+	return NewStopList("english-default", []string{
+		"a", "about", "above", "after", "again", "all", "also", "am", "an",
+		"and", "any", "are", "as", "at", "be", "because", "been", "before",
+		"being", "below", "between", "both", "but", "by", "can", "could",
+		"did", "do", "does", "doing", "down", "during", "each", "few", "for",
+		"from", "further", "had", "has", "have", "having", "he", "her",
+		"here", "hers", "him", "his", "how", "i", "if", "in", "into", "is",
+		"it", "its", "just", "me", "more", "most", "my", "no", "nor", "not",
+		"now", "of", "off", "on", "once", "only", "or", "other", "our",
+		"ours", "out", "over", "own", "same", "she", "should", "so", "some",
+		"such", "than", "that", "the", "their", "theirs", "them", "then",
+		"there", "these", "they", "this", "those", "through", "to", "too",
+		"under", "until", "up", "very", "was", "we", "were", "what", "when",
+		"where", "which", "while", "who", "whom", "why", "will", "with",
+		"you", "your", "yours",
+	})
+}
+
+// SpanishStopWords returns the default Spanish stop list used by the
+// multi-language examples.
+func SpanishStopWords() *StopList {
+	return NewStopList("spanish-default", []string{
+		"a", "al", "algo", "ante", "antes", "como", "con", "contra", "cual",
+		"cuando", "de", "del", "desde", "donde", "durante", "e", "el", "ella",
+		"ellas", "ellos", "en", "entre", "era", "es", "esa", "ese", "eso",
+		"esta", "este", "esto", "fue", "ha", "hace", "hasta", "hay", "la",
+		"las", "le", "les", "lo", "los", "mas", "me", "mi", "muy", "nada",
+		"ni", "no", "nos", "o", "os", "otra", "otro", "para", "pero", "poco",
+		"por", "porque", "que", "quien", "se", "ser", "si", "sin", "sobre",
+		"son", "su", "sus", "te", "tiene", "todo", "tras", "tu", "un", "una",
+		"uno", "unos", "y", "ya", "yo",
+	})
+}
+
+// MinimalStopWords returns a tiny stop list, used to model engines that
+// barely eliminate anything.
+func MinimalStopWords() *StopList {
+	return NewStopList("minimal", []string{"a", "an", "and", "of", "or", "the"})
+}

@@ -1,0 +1,71 @@
+package text
+
+import (
+	"sort"
+	"strings"
+)
+
+// Thesaurus maps words to synonym groups for the STARTS "thesaurus"
+// modifier, which expands a query term with its synonyms before matching.
+// Expansion is symmetric: every member of a group expands to the whole
+// group.
+type Thesaurus struct {
+	groups map[string][]string // lower-cased word -> sorted group incl. itself
+}
+
+// NewThesaurus builds a thesaurus from synonym groups. Words may appear in
+// multiple groups; their expansions are merged.
+func NewThesaurus(groups ...[]string) *Thesaurus {
+	t := &Thesaurus{groups: map[string][]string{}}
+	for _, g := range groups {
+		set := map[string]bool{}
+		for _, w := range g {
+			set[strings.ToLower(w)] = true
+		}
+		for w := range set {
+			merged := map[string]bool{}
+			for _, prev := range t.groups[w] {
+				merged[prev] = true
+			}
+			for other := range set {
+				merged[other] = true
+			}
+			list := make([]string, 0, len(merged))
+			for m := range merged {
+				list = append(list, m)
+			}
+			sort.Strings(list)
+			t.groups[w] = list
+		}
+	}
+	return t
+}
+
+// Expand returns word together with its synonyms (lower-cased, sorted,
+// word first). A word with no group expands to itself alone.
+func (t *Thesaurus) Expand(word string) []string {
+	w := strings.ToLower(word)
+	if t == nil || t.groups[w] == nil {
+		return []string{w}
+	}
+	out := []string{w}
+	for _, s := range t.groups[w] {
+		if s != w {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DefaultThesaurus returns the small built-in thesaurus used by the
+// example sources; real engines would plug in their own.
+func DefaultThesaurus() *Thesaurus {
+	return NewThesaurus(
+		[]string{"database", "databank", "datastore"},
+		[]string{"distributed", "decentralized", "federated"},
+		[]string{"search", "retrieval", "lookup"},
+		[]string{"fast", "quick", "rapid"},
+		[]string{"car", "automobile"},
+		[]string{"illness", "disease", "sickness"},
+	)
+}

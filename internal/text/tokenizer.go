@@ -1,0 +1,120 @@
+// Package text implements the linguistic substrate STARTS sources need:
+// named tokenizers, the Porter stemmer, stop-word lists, soundex phonetic
+// codes, thesaurus expansion and case folding. Search engines compose these
+// into analyzers; sources advertise which ones they use through the
+// TokenizerIDList and StopWordList metadata attributes.
+package text
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Token is a single indexable unit extracted from text, with its word
+// position (0-based) for proximity evaluation.
+type Token struct {
+	Text string
+	Pos  int
+}
+
+// Tokenizer extracts indexable tokens from a string. STARTS deliberately
+// treats tokenizers as named black boxes: a source names its tokenizer
+// (for example "Acme-1") in its metadata, and a metasearcher learns how a
+// tokenizer behaves by examining the actual queries a source reports back.
+type Tokenizer interface {
+	// ID is the tokenizer's registered name, e.g. "Acme-1".
+	ID() string
+	// Tokenize splits text into tokens with word positions.
+	Tokenize(text string) []Token
+}
+
+// SeparatorTokenizer splits on any rune that is neither a letter, a digit,
+// nor one of Keep. Keeping "." and "-" inside tokens preserves terms such
+// as "Z39.50", the paper's running tokenization example; splitting on "."
+// yields "Z39" and "50" instead.
+type SeparatorTokenizer struct {
+	Name string
+	Keep string // runes allowed inside a token besides letters and digits
+}
+
+// ID implements Tokenizer.
+func (t *SeparatorTokenizer) ID() string { return t.Name }
+
+// Tokenize implements Tokenizer. Keep runes are only retained inside
+// tokens, never at the edges, so "end." tokenizes to "end" even when "." is
+// kept for "Z39.50".
+func (t *SeparatorTokenizer) Tokenize(text string) []Token {
+	var toks []Token
+	var cur strings.Builder
+	pos := 0
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		word := strings.Trim(cur.String(), t.Keep)
+		cur.Reset()
+		if word == "" {
+			return
+		}
+		toks = append(toks, Token{Text: word, Pos: pos})
+		pos++
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || strings.ContainsRune(t.Keep, r) {
+			cur.WriteRune(r)
+			continue
+		}
+		flush()
+	}
+	flush()
+	return toks
+}
+
+var (
+	tokMu  sync.RWMutex
+	tokReg = map[string]Tokenizer{}
+)
+
+// RegisterTokenizer adds a tokenizer to the global registry under its ID.
+// Registering a duplicate ID is a programming error and panics.
+func RegisterTokenizer(t Tokenizer) {
+	tokMu.Lock()
+	defer tokMu.Unlock()
+	id := strings.ToLower(t.ID())
+	if _, dup := tokReg[id]; dup {
+		panic(fmt.Sprintf("text: tokenizer %q registered twice", t.ID()))
+	}
+	tokReg[id] = t
+}
+
+// LookupTokenizer finds a registered tokenizer by ID, case-insensitively.
+func LookupTokenizer(id string) (Tokenizer, bool) {
+	tokMu.RLock()
+	defer tokMu.RUnlock()
+	t, ok := tokReg[strings.ToLower(id)]
+	return t, ok
+}
+
+// TokenizerIDs lists the registered tokenizer IDs, sorted.
+func TokenizerIDs() []string {
+	tokMu.RLock()
+	defer tokMu.RUnlock()
+	ids := make([]string, 0, len(tokReg))
+	for _, t := range tokReg {
+		ids = append(ids, t.ID())
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// The built-in tokenizers. Acme-1 mimics an engine that keeps "." and "-"
+// inside tokens; Acme-2 splits on everything non-alphanumeric; Acme-3
+// additionally keeps "/" (path-like tokens).
+func init() {
+	RegisterTokenizer(&SeparatorTokenizer{Name: "Acme-1", Keep: ".-"})
+	RegisterTokenizer(&SeparatorTokenizer{Name: "Acme-2"})
+	RegisterTokenizer(&SeparatorTokenizer{Name: "Acme-3", Keep: "./-"})
+}

@@ -1,0 +1,94 @@
+package starts_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"starts"
+	"starts/internal/corpus"
+	"starts/internal/engine"
+	"starts/internal/eval"
+)
+
+// TestScaleSoak drives the full pipeline at a larger scale: 10
+// heterogeneous sources × 500 documents, 30 workload queries through
+// selection, translation, fan-out and merging. It asserts end-to-end
+// sanity (every topical query answered, no duplicates, sane latency),
+// not exact numbers.
+func TestScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test indexes 5000 documents; skipped in -short")
+	}
+	g := corpus.Generate(corpus.Config{Seed: 77, NumSources: 10, DocsPerSource: 500, Overlap: 0.05})
+	scorers := []engine.Scorer{engine.TFIDF{}, engine.TopK{}, engine.RawTF{}}
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+		MaxSources: 4,
+		Merger:     starts.MergeTermStats,
+	})
+	for i, spec := range g.Sources {
+		cfg := engine.NewVectorConfig()
+		cfg.Scorer = scorers[i%len(scorers)]
+		eng, err := starts.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := starts.NewSource(spec.ID, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range spec.Docs {
+			if err := src.Add(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms.Add(starts.NewLocalConn(src, nil))
+	}
+	ctx := context.Background()
+	harvestStart := time.Now()
+	if err := ms.Harvest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("harvested 10 sources in %v", time.Since(harvestStart))
+
+	workload := corpus.Workload(g, corpus.WorkloadConfig{Seed: 78, NumQueries: 30, FilterFraction: -1})
+	answered := 0
+	var total time.Duration
+	for _, wq := range workload {
+		start := time.Now()
+		ans, err := ms.Search(ctx, wq.Query)
+		if err != nil {
+			t.Fatalf("query %v: %v", wq.Terms, err)
+		}
+		elapsed := time.Since(start)
+		total += elapsed
+		if elapsed > 5*time.Second {
+			t.Errorf("query %v took %v", wq.Terms, elapsed)
+		}
+		if len(ans.Documents) > 0 {
+			answered++
+		}
+		seen := map[string]bool{}
+		for _, d := range ans.Documents {
+			if seen[d.Linkage()] {
+				t.Fatalf("duplicate %s in merged answer", d.Linkage())
+			}
+			seen[d.Linkage()] = true
+		}
+		if len(ans.Contacted) > 4 {
+			t.Errorf("MaxSources ignored: contacted %v", ans.Contacted)
+		}
+		// Selection sanity: the topical source family should lead for
+		// head-of-vocabulary queries.
+		if len(ans.Selected) > 0 && ans.Selected[0].Goodness > 0 {
+			sel := eval.Rn([]string{ans.Selected[0].ID}, map[string]float64{ans.Selected[0].ID: 1}, 1)
+			if sel != 1 {
+				t.Errorf("Rn self-check failed")
+			}
+		}
+	}
+	if answered < 25 {
+		t.Errorf("only %d/30 queries answered", answered)
+	}
+	t.Logf("30 queries in %v (mean %v)", total, total/30)
+}

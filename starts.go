@@ -1,0 +1,183 @@
+// Package starts is a complete Go implementation of STARTS 1.0, the
+// Stanford Protocol Proposal for Internet Retrieval and Search (Gravano,
+// Chang, García-Molina, Paepcke; SIGMOD 1997): the query language, the
+// SOIF-encoded query/result/metadata objects, search engines with
+// heterogeneous capability profiles, sources and resources that export
+// metadata and content summaries, an HTTP transport, and a metasearcher
+// that performs the paper's three tasks — choosing the best sources for a
+// query, evaluating the query at those sources, and merging the results.
+//
+// This package is the public facade; it re-exports the user-facing types
+// of the internal packages so applications need a single import:
+//
+//	eng, _ := starts.NewVectorEngine()
+//	src, _ := starts.NewSource("Source-1", eng)
+//	src.Add(&starts.Document{Linkage: "http://...", Title: "...", Body: "..."})
+//
+//	ms := starts.NewMetasearcher(starts.MetasearcherOptions{})
+//	ms.Add(starts.NewLocalConn(src, nil))
+//	q := starts.NewQuery()
+//	q.Ranking, _ = starts.ParseRanking(`list((body-of-text "distributed"))`)
+//	answer, _ := ms.Search(ctx, q)
+package starts
+
+import (
+	"net/http"
+
+	"starts/internal/client"
+	"starts/internal/core"
+	"starts/internal/engine"
+	"starts/internal/gloss"
+	"starts/internal/index"
+	"starts/internal/merge"
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/server"
+	"starts/internal/source"
+)
+
+// Version is the protocol version implemented by this module.
+const Version = query.Version
+
+// Query language.
+type (
+	// Query is a complete STARTS query (Section 4.1).
+	Query = query.Query
+	// Expr is a filter- or ranking-expression tree.
+	Expr = query.Expr
+	// Term is an atomic query term.
+	Term = query.Term
+	// SortKey orders query results.
+	SortKey = query.SortKey
+)
+
+// NewQuery returns a query with the specification defaults.
+func NewQuery() *Query { return query.New() }
+
+// ParseFilter parses a Basic-1 filter expression.
+func ParseFilter(src string) (Expr, error) { return query.ParseFilter(src) }
+
+// ParseRanking parses a Basic-1 ranking expression.
+func ParseRanking(src string) (Expr, error) { return query.ParseRanking(src) }
+
+// Documents, engines and sources.
+type (
+	// Document is an indexable flat text document.
+	Document = index.Document
+	// Engine executes queries under a capability profile.
+	Engine = engine.Engine
+	// EngineConfig is an engine's capability profile.
+	EngineConfig = engine.Config
+	// Source is a document collection with its engine and exported
+	// metadata.
+	Source = source.Source
+	// Resource groups sources behind one contact point.
+	Resource = source.Resource
+)
+
+// NewVectorEngine returns a full-featured vector-space engine (filter and
+// ranking expressions, tf·idf scoring).
+func NewVectorEngine() (*Engine, error) { return engine.New(engine.NewVectorConfig()) }
+
+// NewBooleanEngine returns a Glimpse-like Boolean engine (filter
+// expressions only).
+func NewBooleanEngine() (*Engine, error) { return engine.New(engine.NewBooleanConfig()) }
+
+// NewEngine returns an engine with a custom capability profile.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// NewSource returns a source over an engine.
+func NewSource(id string, eng *Engine) (*Source, error) { return source.New(id, eng) }
+
+// NewResource returns an empty resource.
+func NewResource() *Resource { return source.NewResource() }
+
+// Results and metadata objects.
+type (
+	// Results is a query result: header plus documents.
+	Results = result.Results
+	// ResultDocument is one query-result document with its TermStats.
+	ResultDocument = result.Document
+	// TermStat carries per-term statistics for rank merging.
+	TermStat = result.TermStat
+	// SourceMeta is a source's MBasic-1 metadata.
+	SourceMeta = meta.SourceMeta
+	// ContentSummary is a source's exported content summary.
+	ContentSummary = meta.ContentSummary
+)
+
+// Transport.
+type (
+	// Server serves a resource over HTTP.
+	Server = server.Server
+	// Client fetches STARTS objects over HTTP.
+	Client = client.Client
+	// Conn is one queryable source, local or remote.
+	Conn = client.Conn
+)
+
+// NewServer returns an http.Handler serving the resource; baseURL is
+// stamped into exported metadata.
+func NewServer(res *Resource, baseURL string) *Server { return server.New(res, baseURL) }
+
+// NewClient returns an HTTP STARTS client; nil uses a default HTTP client.
+func NewClient(hc *http.Client) *Client { return client.NewClient(hc) }
+
+// NewLocalConn wraps an in-process source as a Conn; res may be nil.
+func NewLocalConn(src *Source, res *Resource) Conn { return client.NewLocalConn(src, res) }
+
+// NewHTTPConn wraps a remote source as a Conn given its metadata URL.
+func NewHTTPConn(c *Client, sourceID, metadataURL string) Conn {
+	return client.NewHTTPConn(c, sourceID, metadataURL)
+}
+
+// Metasearch.
+type (
+	// Metasearcher performs the three metasearch tasks over registered
+	// sources.
+	Metasearcher = core.Metasearcher
+	// MetasearcherOptions configure a metasearcher.
+	MetasearcherOptions = core.Options
+	// Answer is a merged metasearch result.
+	Answer = core.Answer
+	// SourceStats is a source's observed past performance.
+	SourceStats = core.SourceStats
+	// AdaptiveSelector discounts estimated goodness by past performance
+	// (latency, failures), SavvySearch-style.
+	AdaptiveSelector = core.AdaptiveSelector
+	// Broker exposes a metasearcher as a source connection, enabling
+	// broker hierarchies (cascading metasearch).
+	Broker = core.Broker
+	// Selector ranks sources by estimated goodness (source selection).
+	Selector = gloss.Selector
+	// MergeStrategy fuses per-source ranks (rank merging).
+	MergeStrategy = merge.Strategy
+)
+
+// NewMetasearcher returns a metasearcher; zero options give vGlOSS Sum(0)
+// selection and TermStats merging.
+func NewMetasearcher(opts MetasearcherOptions) *Metasearcher { return core.New(opts) }
+
+// Selectors.
+var (
+	// SelectVSum is the vGlOSS Sum(0) selector (default).
+	SelectVSum Selector = gloss.VSum{}
+	// SelectVMax is the vGlOSS Max(0) selector.
+	SelectVMax Selector = gloss.VMax{}
+	// SelectBGloss is the Boolean bGlOSS selector.
+	SelectBGloss Selector = gloss.BGloss{}
+)
+
+// Merge strategies.
+var (
+	// MergeRawScore compares raw scores across sources (known broken;
+	// kept as the baseline).
+	MergeRawScore MergeStrategy = merge.RawScore{}
+	// MergeScaled normalizes scores via each source's ScoreRange.
+	MergeScaled MergeStrategy = merge.Scaled{}
+	// MergeRoundRobin interleaves per-source ranks.
+	MergeRoundRobin MergeStrategy = merge.RoundRobin{}
+	// MergeTermStats re-ranks from returned term statistics (default).
+	MergeTermStats MergeStrategy = merge.TermStats{}
+)
