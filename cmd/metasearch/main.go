@@ -6,6 +6,12 @@
 //	metasearch -resources http://127.0.0.1:8080/resource \
 //	           -ranking 'list((body-of-text "database"))' \
 //	           -select vsum -merge term-stats -max-sources 3
+//
+// Resilience knobs: -retries/-retry-base (per-call retries with
+// exponential backoff), -breaker-after/-breaker-cooldown (per-source
+// circuit breaker), -budget (total search deadline), -adaptive
+// (past-performance selection penalties), and -fault-rate/-fault-latency
+// /-fault-seed (client-side fault injection for testing).
 package main
 
 import (
@@ -33,6 +39,16 @@ func main() {
 		max        = flag.Int("max", 10, "maximum number of merged documents")
 		verify     = flag.Bool("verify", false, "post-filter results against dropped query parts")
 		timeout    = flag.Duration("timeout", 15*time.Second, "per-source timeout")
+
+		budget          = flag.Duration("budget", 0, "total deadline for the whole search, harvesting included (0 = none)")
+		retries         = flag.Int("retries", 0, "retry each source call up to N extra times with exponential backoff")
+		retryBase       = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff (doubles per retry, jittered)")
+		breakerAfter    = flag.Int("breaker-after", 0, "open a source's circuit after N consecutive failures (0 = no breaker)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit sheds traffic before probing")
+		adaptive        = flag.Bool("adaptive", false, "discount selection goodness by observed latency, failures and breaker state")
+		faultRate       = flag.Float64("fault-rate", 0, "inject client-side faults: per-call error probability (testing)")
+		faultLatency    = flag.Duration("fault-latency", 0, "inject client-side faults: added per-call latency (testing)")
+		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
 	if *resources == "" {
@@ -57,10 +73,29 @@ func main() {
 		log.Fatalf("metasearch: unknown merge strategy %q", *mergeName)
 	}
 
-	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+	opts := starts.MetasearcherOptions{
 		Selector: sel, Merger: mrg, MaxSources: *maxSources,
-		Timeout: *timeout, PostFilter: *verify,
-	})
+		Timeout: *timeout, PostFilter: *verify, Budget: *budget,
+	}
+	var br *starts.Breaker
+	if *breakerAfter > 0 {
+		br = starts.NewBreaker(starts.BreakerConfig{
+			FailureThreshold: *breakerAfter, Cooldown: *breakerCooldown,
+		})
+		opts.Breaker = br
+	}
+	ms := starts.NewMetasearcher(opts)
+	if *adaptive {
+		as := ms.NewAdaptiveSelector(sel)
+		if br != nil {
+			as.Broken = br.Broken
+		}
+		ms.SetSelector(as)
+	}
+	var retryBudget *starts.RetryBudget
+	if *retries > 0 {
+		retryBudget = &starts.RetryBudget{}
+	}
 	ctx := context.Background()
 	hc := starts.NewClient(nil)
 	for _, url := range strings.Split(*resources, ",") {
@@ -69,6 +104,16 @@ func main() {
 			log.Fatalf("metasearch: discovering %s: %v", url, err)
 		}
 		for _, c := range conns {
+			if *faultRate > 0 || *faultLatency > 0 {
+				c = starts.NewFaultyConn(c, starts.FaultConfig{
+					Seed: *faultSeed, ErrorRate: *faultRate, Latency: *faultLatency,
+				})
+			}
+			if *retries > 0 {
+				c = starts.NewRetryConn(c, starts.RetryPolicy{
+					MaxAttempts: *retries + 1, BaseDelay: *retryBase,
+				}, retryBudget)
+			}
 			ms.Add(c)
 		}
 	}
@@ -103,6 +148,9 @@ func main() {
 	for i, d := range answer.Documents {
 		fmt.Printf("%2d. %-60s %v\n", i+1, d.Title(), d.Sources)
 		fmt.Printf("    %s\n", d.Linkage())
+	}
+	if answer.Degraded.Any() {
+		fmt.Fprintf(os.Stderr, "degraded answer: %s\n", answer.Degraded)
 	}
 	for id, oc := range answer.PerSource {
 		switch {

@@ -13,6 +13,10 @@
 //	quit
 //
 //	startsh -resources http://127.0.0.1:8080/resource
+//
+// Resilience flags: -retries (per-call retries with backoff),
+// -breaker-after/-breaker-cooldown (per-source circuit breaker, state
+// shown by stats), -budget (total deadline per search).
 package main
 
 import (
@@ -29,7 +33,13 @@ import (
 )
 
 func main() {
-	resources := flag.String("resources", "", "comma-separated resource URLs")
+	var (
+		resources       = flag.String("resources", "", "comma-separated resource URLs")
+		budget          = flag.Duration("budget", 0, "total deadline per search (0 = none)")
+		retries         = flag.Int("retries", 0, "retry each source call up to N extra times with exponential backoff")
+		breakerAfter    = flag.Int("breaker-after", 0, "open a source's circuit after N consecutive failures (0 = no breaker)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit sheds traffic before probing")
+	)
 	flag.Parse()
 	if *resources == "" {
 		fmt.Fprintln(os.Stderr, "startsh: -resources is required")
@@ -37,7 +47,19 @@ func main() {
 	}
 	ctx := context.Background()
 	hc := starts.NewClient(nil)
-	ms := starts.NewMetasearcher(starts.MetasearcherOptions{Timeout: 15 * time.Second})
+	opts := starts.MetasearcherOptions{Timeout: 15 * time.Second, Budget: *budget}
+	var br *starts.Breaker
+	if *breakerAfter > 0 {
+		br = starts.NewBreaker(starts.BreakerConfig{
+			FailureThreshold: *breakerAfter, Cooldown: *breakerCooldown,
+		})
+		opts.Breaker = br
+	}
+	ms := starts.NewMetasearcher(opts)
+	var retryBudget *starts.RetryBudget
+	if *retries > 0 {
+		retryBudget = &starts.RetryBudget{}
+	}
 	for _, url := range strings.Split(*resources, ",") {
 		conns, err := hc.Discover(ctx, strings.TrimSpace(url))
 		if err != nil {
@@ -45,6 +67,9 @@ func main() {
 			os.Exit(1)
 		}
 		for _, c := range conns {
+			if *retries > 0 {
+				c = starts.NewRetryConn(c, starts.RetryPolicy{MaxAttempts: *retries + 1}, retryBudget)
+			}
 			ms.Add(c)
 		}
 	}
@@ -54,7 +79,7 @@ func main() {
 	}
 	fmt.Printf("harvested %d sources; type help for commands\n", len(ms.SourceIDs()))
 
-	sh := &shell{ms: ms, ctx: ctx}
+	sh := &shell{ms: ms, ctx: ctx, br: br}
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("starts> ")
 	for scanner.Scan() {
@@ -73,6 +98,7 @@ func main() {
 type shell struct {
 	ms  *starts.Metasearcher
 	ctx context.Context
+	br  *starts.Breaker
 }
 
 func (s *shell) dispatch(line string) {
@@ -144,18 +170,25 @@ func (s *shell) dispatch(line string) {
 			return
 		}
 		fmt.Printf("contacted %v\n", ans.Contacted)
+		if ans.Degraded.Any() {
+			fmt.Printf("degraded: %s\n", ans.Degraded)
+		}
 		for i, d := range ans.Documents {
 			fmt.Printf("%2d. %8.3f  %-55s %v\n", i+1, d.RawScore, clip(d.Title(), 55), d.Sources)
 		}
 	case "stats":
 		for _, id := range s.ms.SourceIDs() {
+			circuit := ""
+			if s.br != nil {
+				circuit = " circuit=" + s.br.State(id).String()
+			}
 			st, ok := s.ms.Stats(id)
 			if !ok {
-				fmt.Printf("  %-24s (no queries yet)\n", id)
+				fmt.Printf("  %-24s (no queries yet)%s\n", id, circuit)
 				continue
 			}
-			fmt.Printf("  %-24s queries=%d failures=%d mean-latency=%v\n",
-				id, st.Queries, st.Failures, st.MeanLatency.Round(time.Millisecond))
+			fmt.Printf("  %-24s queries=%d failures=%d mean-latency=%v%s\n",
+				id, st.Queries, st.Failures, st.MeanLatency.Round(time.Millisecond), circuit)
 		}
 	default:
 		fmt.Printf("unknown command %q (try help)\n", cmd)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"starts/internal/meta"
@@ -73,14 +74,48 @@ func (c *Client) do(req *http.Request) ([]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+		// Drain the rest so the keep-alive connection is reusable.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, &StatusError{
+			Method: req.Method, URL: req.URL.String(),
+			StatusCode: resp.StatusCode, Status: resp.Status,
+			Snippet: truncate(snippet),
+		}
+	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
 		return nil, fmt.Errorf("client: reading %s: %w", req.URL, err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: %s %s: %s: %s", req.Method, req.URL, resp.Status, truncate(data))
-	}
 	return data, nil
+}
+
+// StatusError is a non-200 HTTP response from a source. It carries the
+// status code so callers (notably the retry layer) can tell transient
+// 5xx conditions from permanent 4xx rejections.
+type StatusError struct {
+	// Method and URL identify the failed request.
+	Method string
+	URL    string
+	// StatusCode and Status are the response's numeric and textual status.
+	StatusCode int
+	Status     string
+	// Snippet is the start of the error body.
+	Snippet string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: %s %s: %s: %s", e.Method, e.URL, e.Status, e.Snippet)
+}
+
+// Temporary reports whether the status is worth retrying: server errors,
+// request timeouts and throttling are; other client errors are not.
+func (e *StatusError) Temporary() bool {
+	return e.StatusCode >= 500 ||
+		e.StatusCode == http.StatusRequestTimeout ||
+		e.StatusCode == http.StatusTooManyRequests
 }
 
 func truncate(b []byte) string {
@@ -148,13 +183,15 @@ type HTTPConn struct {
 	// MetadataURL is the entry point (from the resource's SourceList);
 	// the query/summary/sample URLs come from the fetched metadata.
 	metadataURL string
+	now         func() time.Time
 
+	mu     sync.Mutex
 	cached *meta.SourceMeta
 }
 
 // NewHTTPConn returns a Conn for the source with the given metadata URL.
 func NewHTTPConn(c *Client, sourceID, metadataURL string) *HTTPConn {
-	return &HTTPConn{client: c, id: sourceID, metadataURL: metadataURL}
+	return &HTTPConn{client: c, id: sourceID, metadataURL: metadataURL, now: time.Now}
 }
 
 // SourceID implements Conn.
@@ -166,13 +203,24 @@ func (h *HTTPConn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.mu.Lock()
 	h.cached = m
+	h.mu.Unlock()
 	return m, nil
 }
 
+// metaExpired mirrors core's cache-expiry rule: a zero DateExpires never
+// expires.
+func metaExpired(m *meta.SourceMeta, now time.Time) bool {
+	return !m.DateExpires.IsZero() && now.After(m.DateExpires)
+}
+
 func (h *HTTPConn) meta(ctx context.Context) (*meta.SourceMeta, error) {
-	if h.cached != nil {
-		return h.cached, nil
+	h.mu.Lock()
+	cached := h.cached
+	h.mu.Unlock()
+	if cached != nil && !metaExpired(cached, h.now()) {
+		return cached, nil
 	}
 	return h.Metadata(ctx)
 }

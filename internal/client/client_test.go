@@ -2,11 +2,14 @@ package client
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"starts/internal/engine"
 	"starts/internal/index"
@@ -136,6 +139,89 @@ func TestQueryMarshalErrorSurfaces(t *testing.T) {
 	// An invalid query fails before any request is made.
 	if _, err := c.Query(context.Background(), ts.URL+"/sources/S1/query", query.New()); err == nil {
 		t.Error("invalid query accepted")
+	}
+}
+
+func TestStatusErrorTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.Client())
+	_, err := c.Resource(context.Background(), ts.URL+"/resource")
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a *StatusError: %v", err)
+	}
+	if se.StatusCode != http.StatusServiceUnavailable || !se.Temporary() {
+		t.Errorf("StatusError = %+v, want retryable 503", se)
+	}
+	if !strings.Contains(se.Error(), "overloaded") {
+		t.Errorf("error lacks body snippet: %v", se)
+	}
+}
+
+func TestStatusErrorTemporary(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusBadRequest: false, http.StatusNotFound: false,
+		http.StatusRequestTimeout: true, http.StatusTooManyRequests: true,
+		http.StatusInternalServerError: true, http.StatusBadGateway: true,
+	} {
+		se := &StatusError{StatusCode: code}
+		if se.Temporary() != want {
+			t.Errorf("Temporary(%d) = %v, want %v", code, !want, want)
+		}
+	}
+}
+
+// TestHTTPConnConcurrentUse exercises the cached-metadata path from many
+// goroutines; the race detector verifies the locking.
+func TestHTTPConnConcurrentUse(t *testing.T) {
+	ts, _ := startServer(t)
+	ctx := context.Background()
+	c := NewClient(ts.Client())
+	conn := NewHTTPConn(c, "S1", ts.URL+"/sources/S1/metadata")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				if _, err := conn.Metadata(ctx); err != nil {
+					t.Error(err)
+				}
+				return
+			}
+			if _, err := conn.Summary(ctx); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestHTTPConnMetadataExpiry: a cached metadata object past its
+// DateExpires is refetched, mirroring the core harvest cache.
+func TestHTTPConnMetadataExpiry(t *testing.T) {
+	ts, hits := startServer(t)
+	ctx := context.Background()
+	c := NewClient(ts.Client())
+	conn := NewHTTPConn(c, "S1", ts.URL+"/sources/S1/metadata")
+	if _, err := conn.Metadata(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Expire the cached copy by moving the conn's clock past DateExpires
+	// (the test server stamps none, so force one on the cached object).
+	conn.mu.Lock()
+	conn.cached.DateExpires = time.Now().Add(-time.Hour)
+	conn.mu.Unlock()
+	before := hits.Load()
+	if _, err := conn.Summary(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Expired cache: summary must refetch metadata first (2 requests).
+	if got := hits.Load() - before; got != 2 {
+		t.Errorf("requests after expiry = %d, want 2 (metadata refetch + summary)", got)
 	}
 }
 

@@ -95,6 +95,14 @@ type AdaptiveSelector struct {
 	// FailureWeight scales the failure-rate penalty: goodness is
 	// multiplied by (1 - FailureWeight·failureRate). Zero disables it.
 	FailureWeight float64
+	// Broken reports whether a source's circuit breaker currently
+	// refuses regular traffic (typically resilient.Breaker.Broken); nil
+	// disables the penalty.
+	Broken func(id string) bool
+	// BrokenPenalty multiplies the goodness of broken sources, so an
+	// open source sorts last without being forgotten; the zero value
+	// drops its goodness to zero.
+	BrokenPenalty float64
 }
 
 // NewAdaptiveSelector wraps inner with this metasearcher's statistics and
@@ -115,6 +123,9 @@ func (a *AdaptiveSelector) Name() string { return "adaptive(" + a.Inner.Name() +
 func (a *AdaptiveSelector) Rank(q *query.Query, sources []gloss.SourceInfo) []gloss.Ranked {
 	ranked := a.Inner.Rank(q, sources)
 	for i := range ranked {
+		if a.Broken != nil && a.Broken(ranked[i].ID) {
+			ranked[i].Goodness *= a.BrokenPenalty
+		}
 		st, ok := a.Stats(ranked[i].ID)
 		if !ok {
 			continue

@@ -10,7 +10,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +36,15 @@ type Options struct {
 	MaxSources int
 	// Timeout is the per-source query deadline; default 15s.
 	Timeout time.Duration
+	// Budget bounds one whole Search call — harvesting plus fan-out —
+	// independently of the per-source Timeout; 0 sets no overall
+	// deadline. With a budget, a pathological fleet degrades the answer
+	// instead of stacking per-source timeouts.
+	Budget time.Duration
+	// Breaker, when set, is consulted before fan-out: sources it refuses
+	// are skipped (reported in Answer.Degraded) and every query outcome
+	// is fed back to it. resilient.NewBreaker provides one.
+	Breaker BreakerGate
 	// PostFilter enables verification mode: results are re-checked
 	// against query parts a source could not evaluate.
 	PostFilter bool
@@ -54,11 +65,27 @@ type Metasearcher struct {
 	stats *statsBook
 }
 
-// entry is one source's harvested state.
+// BreakerGate admits or refuses traffic to sources. It is satisfied by
+// resilient.Breaker; core defines only the interface so the dependency
+// points outward.
+type BreakerGate interface {
+	// Allow reports whether the source may be contacted now.
+	Allow(id string) bool
+	// Record feeds back a contact's outcome (nil err = success).
+	Record(id string, err error)
+}
+
+// entry is one source's harvested state. Entries are immutable once
+// published in Metasearcher.entries — refreshes (including stale-if-error
+// marking) swap in a new entry, so readers may use one after dropping
+// the lock.
 type entry struct {
 	meta      *meta.SourceMeta
 	summary   *meta.ContentSummary
 	harvested time.Time
+	// stale marks an entry served past its DateExpires because a refresh
+	// failed (stale-if-error): better an aging summary than no source.
+	stale bool
 }
 
 // New returns a metasearcher with the given options.
@@ -186,16 +213,32 @@ func (m *Metasearcher) harvestOne(ctx context.Context, id string) error {
 	}
 	md, err := conn.Metadata(ctx)
 	if err != nil {
+		m.keepStale(id)
 		return fmt.Errorf("core: harvesting metadata of %s: %w", id, err)
 	}
 	sum, err := conn.Summary(ctx)
 	if err != nil {
+		m.keepStale(id)
 		return fmt.Errorf("core: harvesting summary of %s: %w", id, err)
 	}
 	m.mu.Lock()
 	m.entries[id] = &entry{meta: md, summary: sum, harvested: m.opts.Now()}
 	m.mu.Unlock()
 	return nil
+}
+
+// keepStale implements stale-if-error harvesting: when a refresh fails
+// but an old entry exists, the old entry stays in service marked stale.
+// Entries are immutable after publish, so marking means swapping in a
+// copy.
+func (m *Metasearcher) keepStale(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.entries[id]; e != nil && !e.stale {
+		stale := *e
+		stale.stale = true
+		m.entries[id] = &stale
+	}
 }
 
 // Harvested returns the cached metadata and summary for a source.
@@ -221,6 +264,40 @@ type SourceOutcome struct {
 	Err error
 	// Elapsed is the source's response time.
 	Elapsed time.Duration
+	// Stale marks an outcome computed from metadata kept past its
+	// DateExpires because a refresh failed (stale-if-error).
+	Stale bool
+}
+
+// Degradation reports how an answer fell short of a clean fan-out, so
+// callers can tell a complete answer from a best-effort one. All lists
+// are sorted by source ID.
+type Degradation struct {
+	// Skipped lists sources not contacted because their circuit breaker
+	// refused traffic.
+	Skipped []string
+	// Stale lists contacted sources answered from metadata kept past its
+	// DateExpires because a refresh failed.
+	Stale []string
+	// Failed lists contacted sources whose query failed.
+	Failed []string
+	// HarvestFailed lists sources with no usable harvest, not even a
+	// stale one.
+	HarvestFailed []string
+}
+
+// Any reports whether the answer degraded at all.
+func (d Degradation) Any() bool {
+	return len(d.Skipped)+len(d.Stale)+len(d.Failed)+len(d.HarvestFailed) > 0
+}
+
+// String summarizes the degradation for logs and shells.
+func (d Degradation) String() string {
+	if !d.Any() {
+		return "none"
+	}
+	return fmt.Sprintf("skipped=%v stale=%v failed=%v harvest-failed=%v",
+		d.Skipped, d.Stale, d.Failed, d.HarvestFailed)
 }
 
 // Answer is a merged metasearch result.
@@ -236,6 +313,8 @@ type Answer struct {
 	PerSource map[string]*SourceOutcome
 	// Unverifiable lists dropped terms verification mode could not check.
 	Unverifiable []query.Term
+	// Degraded reports skipped, stale and failed sources.
+	Degraded Degradation
 }
 
 // Search runs the full metasearch pipeline for a query. Sources must have
@@ -246,24 +325,35 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	m.mu.RLock()
+	opts := m.opts
+	m.mu.RUnlock()
+	// The budget bounds the whole call — harvesting included — while
+	// Timeout below bounds each individual source.
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
 	// Best-effort harvesting: an unreachable source must not block the
 	// healthy ones; its error is recorded in the answer instead.
 	harvestErrs := m.harvestAll(ctx)
 
 	m.mu.RLock()
-	opts := m.opts
 	infos := make([]gloss.SourceInfo, 0, len(m.order))
+	staleIDs := map[string]bool{}
 	for _, id := range m.order {
 		e := m.entries[id]
 		if e == nil {
 			continue // not harvested; its error is in harvestErrs
 		}
+		staleIDs[id] = e.stale
 		infos = append(infos, gloss.SourceInfo{ID: id, Summary: e.summary, Meta: e.meta})
 	}
 	m.mu.RUnlock()
 	if len(infos) == 0 {
-		for id, err := range harvestErrs {
-			return nil, fmt.Errorf("core: no source could be harvested (%s: %w)", id, err)
+		if len(harvestErrs) > 0 {
+			return nil, fmt.Errorf("core: no source could be harvested: %w", joinSorted(harvestErrs))
 		}
 		return nil, fmt.Errorf("core: no sources registered")
 	}
@@ -274,17 +364,41 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 		return nil, fmt.Errorf("core: no promising sources for query (of %d registered)", len(infos))
 	}
 
-	answer := &Answer{Selected: ranked, Contacted: contacted, PerSource: map[string]*SourceOutcome{}}
+	answer := &Answer{Selected: ranked, PerSource: map[string]*SourceOutcome{}}
 	for id, err := range harvestErrs {
 		answer.PerSource[id] = &SourceOutcome{Err: fmt.Errorf("core: harvesting %s: %w", id, err)}
+		if !staleIDs[id] {
+			answer.Degraded.HarvestFailed = append(answer.Degraded.HarvestFailed, id)
+		}
 	}
-	outcomes := m.fanOut(ctx, q, contacted, opts.Timeout)
+	// Consult the breaker before fan-out: refused sources are skipped,
+	// degrading the answer instead of waiting out another timeout.
+	if opts.Breaker != nil {
+		admitted := contacted[:0]
+		for _, id := range contacted {
+			if opts.Breaker.Allow(id) {
+				admitted = append(admitted, id)
+				continue
+			}
+			answer.Degraded.Skipped = append(answer.Degraded.Skipped, id)
+			answer.PerSource[id] = &SourceOutcome{Err: fmt.Errorf("core: source %s skipped: circuit open", id)}
+		}
+		contacted = admitted
+	}
+	answer.Contacted = contacted
+	outcomes := m.fanOut(ctx, q, contacted, opts)
 
 	var inputs []merge.SourceResult
 	for _, id := range contacted {
 		oc := outcomes[id]
 		answer.PerSource[id] = oc
+		if oc.Stale {
+			answer.Degraded.Stale = append(answer.Degraded.Stale, id)
+		}
 		if oc.Err != nil || oc.Results == nil {
+			if oc.Err != nil {
+				answer.Degraded.Failed = append(answer.Degraded.Failed, id)
+			}
 			continue
 		}
 		docs := oc.Results.Documents
@@ -298,12 +412,20 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 			SourceID: id, Meta: md, Summary: sum, Results: oc.Results,
 		})
 	}
+	answer.Degraded.sort()
 	if len(inputs) == 0 {
-		// Every contacted source failed.
+		// Every contacted source failed outright: surface the errors —
+		// unless the breaker shed some sources, in which case a degraded
+		// empty answer is the honest result and the caller can retry
+		// after the cooldown.
+		failures := map[string]error{}
 		for _, id := range contacted {
 			if oc := outcomes[id]; oc.Err != nil {
-				return nil, fmt.Errorf("core: all %d contacted sources failed, first error: %w", len(contacted), oc.Err)
+				failures[id] = oc.Err
 			}
+		}
+		if len(failures) > 0 && len(answer.Degraded.Skipped) == 0 {
+			return nil, fmt.Errorf("core: all %d contacted sources failed: %w", len(contacted), joinSorted(failures))
 		}
 		return answer, nil
 	}
@@ -313,6 +435,29 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 		answer.Documents = answer.Documents[:max]
 	}
 	return answer, nil
+}
+
+// joinSorted aggregates per-source errors deterministically, sorted by
+// source ID.
+func joinSorted(errsByID map[string]error) error {
+	ids := make([]string, 0, len(errsByID))
+	for id := range errsByID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	joined := make([]error, len(ids))
+	for i, id := range ids {
+		joined[i] = fmt.Errorf("%s: %w", id, errsByID[id])
+	}
+	return errors.Join(joined...)
+}
+
+// sort orders every degradation list by source ID.
+func (d *Degradation) sort() {
+	sort.Strings(d.Skipped)
+	sort.Strings(d.Stale)
+	sort.Strings(d.Failed)
+	sort.Strings(d.HarvestFailed)
 }
 
 // pick keeps the sources worth contacting: positive estimated goodness,
@@ -341,7 +486,7 @@ func pick(ranked []gloss.Ranked, maxSources int) []string {
 
 // fanOut queries the chosen sources concurrently under the per-source
 // timeout.
-func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string, timeout time.Duration) map[string]*SourceOutcome {
+func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string, opts Options) map[string]*SourceOutcome {
 	outcomes := make(map[string]*SourceOutcome, len(ids))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -349,7 +494,7 @@ func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string,
 		wg.Add(1)
 		go func(id string) {
 			defer wg.Done()
-			oc := m.queryOne(ctx, q, id, timeout)
+			oc := m.queryOne(ctx, q, id, opts)
 			mu.Lock()
 			outcomes[id] = oc
 			mu.Unlock()
@@ -359,7 +504,7 @@ func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string,
 	return outcomes
 }
 
-func (m *Metasearcher) queryOne(ctx context.Context, q *query.Query, id string, timeout time.Duration) *SourceOutcome {
+func (m *Metasearcher) queryOne(ctx context.Context, q *query.Query, id string, opts Options) *SourceOutcome {
 	oc := &SourceOutcome{}
 	m.mu.RLock()
 	conn := m.conns[id]
@@ -369,16 +514,20 @@ func (m *Metasearcher) queryOne(ctx context.Context, q *query.Query, id string, 
 		oc.Err = fmt.Errorf("core: source %q not harvested", id)
 		return oc
 	}
+	oc.Stale = e.stale
 	oc.Sent, oc.Report = translate.ForSource(q, e.meta)
 	if oc.Sent.Filter == nil && oc.Sent.Ranking == nil {
 		oc.Err = fmt.Errorf("core: nothing of the query survives translation for %s", id)
 		return oc
 	}
-	cctx, cancel := context.WithTimeout(ctx, timeout)
+	cctx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
 	start := time.Now()
 	res, err := conn.Query(cctx, oc.Sent)
 	oc.Elapsed = time.Since(start)
+	if opts.Breaker != nil {
+		opts.Breaker.Record(id, err)
+	}
 	if err != nil {
 		oc.Err = fmt.Errorf("core: querying %s: %w", id, err)
 		m.stats.record(id, oc.Elapsed, true, 0)

@@ -1,0 +1,252 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"starts/internal/client"
+	"starts/internal/engine"
+	"starts/internal/index"
+	"starts/internal/query"
+	"starts/internal/server"
+	"starts/internal/source"
+)
+
+func testConn(t *testing.T) client.Conn {
+	t.Helper()
+	eng, err := engine.New(engine.NewVectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := source.New("S1", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&index.Document{
+		Linkage: "http://s1/doc", Title: "Distributed databases",
+		Body: "a document about distributed databases",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return client.NewLocalConn(s, nil)
+}
+
+// faultSequence records which of n calls fail.
+func faultSequence(t *testing.T, cfg Config, n int) []bool {
+	t.Helper()
+	c := WrapConn(testConn(t), cfg)
+	ctx := context.Background()
+	out := make([]bool, n)
+	for i := range out {
+		_, err := c.Metadata(ctx)
+		out[i] = err != nil
+	}
+	return out
+}
+
+func TestConnDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, ErrorRate: 0.3}
+	a := faultSequence(t, cfg, 50)
+	b := faultSequence(t, cfg, 50)
+	failures := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			failures++
+		}
+	}
+	if failures == 0 || failures == 50 {
+		t.Errorf("30%% error rate produced %d/50 failures", failures)
+	}
+	c := faultSequence(t, Config{Seed: 8, ErrorRate: 0.3}, 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestConnInjectedErrorsAreMarked(t *testing.T) {
+	c := WrapConn(testConn(t), Config{Seed: 1, ErrorRate: 1})
+	_, err := c.Summary(context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error not marked: %v", err)
+	}
+}
+
+func TestConnFlapCycle(t *testing.T) {
+	c := WrapConn(testConn(t), Config{FlapUp: 3, FlapDown: 2})
+	ctx := context.Background()
+	want := []bool{false, false, false, true, true, false, false, false, true, true}
+	for i, w := range want {
+		_, err := c.Metadata(ctx)
+		if (err != nil) != w {
+			t.Errorf("call %d: failed=%v, want %v", i+1, err != nil, w)
+		}
+	}
+	if c.Calls() != len(want) {
+		t.Errorf("Calls = %d, want %d", c.Calls(), len(want))
+	}
+}
+
+func TestConnScriptedOutage(t *testing.T) {
+	c := WrapConn(testConn(t), Config{})
+	ctx := context.Background()
+	if _, err := c.Metadata(ctx); err != nil {
+		t.Fatalf("healthy conn failed: %v", err)
+	}
+	c.SetFailing(true)
+	if _, err := c.Metadata(ctx); !errors.Is(err, ErrInjected) {
+		t.Errorf("scripted outage did not fail: %v", err)
+	}
+	c.SetFailing(false)
+	if _, err := c.Metadata(ctx); err != nil {
+		t.Errorf("recovered conn failed: %v", err)
+	}
+}
+
+func TestConnHangRespectsContext(t *testing.T) {
+	c := WrapConn(testConn(t), Config{HangRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Metadata(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("hang returned %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("hang outlived its context")
+	}
+}
+
+func TestConnLatency(t *testing.T) {
+	c := WrapConn(testConn(t), Config{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Metadata(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("latency injection too fast: %v", elapsed)
+	}
+}
+
+// middlewareServer serves one source behind the fault middleware.
+func middlewareServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	eng, err := engine.New(engine.NewVectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := source.New("S1", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&index.Document{
+		Linkage: "http://s1/doc", Title: "Distributed databases",
+		Body: "a document about distributed databases",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := source.NewResource()
+	if err := res.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(nil)
+	ts.Config.Handler = Middleware(cfg, server.New(res, ts.URL))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestMiddlewarePassThrough(t *testing.T) {
+	ts := middlewareServer(t, Config{})
+	c := client.NewClient(ts.Client())
+	md, err := c.Metadata(context.Background(), ts.URL+"/sources/S1/metadata")
+	if err != nil || md.SourceID != "S1" {
+		t.Fatalf("clean middleware broke the request: %v, %v", md, err)
+	}
+}
+
+func TestMiddlewareInjects503(t *testing.T) {
+	ts := middlewareServer(t, Config{ErrorRate: 1})
+	c := client.NewClient(ts.Client())
+	_, err := c.Metadata(context.Background(), ts.URL+"/sources/S1/metadata")
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("injected failure = %v, want 503 StatusError", err)
+	}
+}
+
+func TestMiddlewareGarbageBodyFailsParse(t *testing.T) {
+	ts := middlewareServer(t, Config{GarbageRate: 1})
+	c := client.NewClient(ts.Client())
+	_, err := c.Metadata(context.Background(), ts.URL+"/sources/S1/metadata")
+	if err == nil {
+		t.Error("garbage body parsed successfully")
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		t.Errorf("garbage body should fail at parse, not status: %v", err)
+	}
+}
+
+func TestMiddlewareTruncatesBody(t *testing.T) {
+	ts := middlewareServer(t, Config{TruncateRate: 1})
+	resp, err := ts.Client().Get(ts.URL + "/sources/S1/metadata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	truncated := string(buf[:n])
+	// The SOIF framing announces attribute lengths; a half body must fail
+	// to parse as metadata.
+	c := client.NewClient(ts.Client())
+	if _, err := c.Metadata(context.Background(), ts.URL+"/sources/S1/metadata"); err == nil {
+		t.Error("truncated body parsed successfully")
+	}
+	if !strings.Contains(truncated, "@") {
+		t.Errorf("truncation should keep a SOIF prefix, got %q", truncated)
+	}
+}
+
+func TestMiddlewareFlap(t *testing.T) {
+	ts := middlewareServer(t, Config{FlapUp: 2, FlapDown: 1})
+	c := client.NewClient(ts.Client())
+	ctx := context.Background()
+	want := []bool{false, false, true, false, false, true}
+	for i, w := range want {
+		_, err := c.Metadata(ctx, ts.URL+"/sources/S1/metadata")
+		if (err != nil) != w {
+			t.Errorf("request %d: failed=%v, want %v", i+1, err != nil, w)
+		}
+	}
+}
+
+func TestConnQueryAndSampleGated(t *testing.T) {
+	c := WrapConn(testConn(t), Config{Seed: 1, ErrorRate: 1})
+	ctx := context.Background()
+	q := query.New()
+	q.Ranking, _ = query.ParseRanking(`list((body-of-text "databases"))`)
+	if _, err := c.Query(ctx, q); !errors.Is(err, ErrInjected) {
+		t.Errorf("Query not gated: %v", err)
+	}
+	if _, err := c.Sample(ctx); !errors.Is(err, ErrInjected) {
+		t.Errorf("Sample not gated: %v", err)
+	}
+	if c.SourceID() != "S1" {
+		t.Errorf("SourceID = %q", c.SourceID())
+	}
+}

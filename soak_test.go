@@ -2,6 +2,7 @@ package starts_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"starts/internal/corpus"
 	"starts/internal/engine"
 	"starts/internal/eval"
+	"starts/internal/resilient"
 )
 
 // TestScaleSoak drives the full pipeline at a larger scale: 10
@@ -91,4 +93,198 @@ func TestScaleSoak(t *testing.T) {
 		t.Errorf("only %d/30 queries answered", answered)
 	}
 	t.Logf("30 queries in %v (mean %v)", total, total/30)
+}
+
+// resilienceFleet builds n small sources sharing a topic vocabulary, so
+// every "databases" query selects all of them.
+func resilienceFleet(t *testing.T, n int) []starts.Conn {
+	t.Helper()
+	conns := make([]starts.Conn, n)
+	for i := range conns {
+		eng, err := starts.NewVectorEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := starts.NewSource(fmt.Sprintf("S%d", i), eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			if err := src.Add(&starts.Document{
+				Linkage: fmt.Sprintf("http://s%d/%d", i, j),
+				Title:   fmt.Sprintf("S%d paper %d", i, j),
+				Body:    "distributed databases metasearch ranking selection merging",
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		conns[i] = starts.NewLocalConn(src, nil)
+	}
+	return conns
+}
+
+func soakQuery(t *testing.T, term string) *starts.Query {
+	t.Helper()
+	q := starts.NewQuery()
+	r, err := starts.ParseRanking(`list((body-of-text "` + term + `"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Ranking = r
+	return q
+}
+
+// TestFlappingSoak scripts an outage of 2 of 5 sources and drives the
+// metasearcher through the whole breaker lifecycle: the circuits open
+// after the failure threshold, answers stay merged (degraded, never
+// all-or-nothing), and recovery probes re-close the circuits.
+func TestFlappingSoak(t *testing.T) {
+	br := starts.NewBreaker(starts.BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         30 * time.Millisecond,
+	})
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+		Timeout: 2 * time.Second,
+		Breaker: br,
+	})
+	conns := resilienceFleet(t, 5)
+	var flappy []*starts.FaultyConn
+	for i, c := range conns {
+		if i < 2 {
+			fc := starts.NewFaultyConn(c, starts.FaultConfig{})
+			flappy = append(flappy, fc)
+			c = fc
+		}
+		ms.Add(c)
+	}
+	ctx := context.Background()
+	if err := ms.Harvest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	q := soakQuery(t, "databases")
+
+	// Healthy phase: a clean fan-out across all five.
+	ans, err := ms.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Contacted) != 5 || ans.Degraded.Any() {
+		t.Fatalf("healthy phase: contacted %v, degraded %s", ans.Contacted, ans.Degraded)
+	}
+
+	// Outage: S0 and S1 go down. Every search must still return a merged
+	// answer naming the failing sources, and after FailureThreshold
+	// failures both circuits must open.
+	for _, fc := range flappy {
+		fc.SetFailing(true)
+	}
+	for i := 0; i < 6; i++ {
+		ans, err := ms.Search(ctx, q)
+		if err != nil {
+			t.Fatalf("outage search %d errored (all-or-nothing): %v", i, err)
+		}
+		if len(ans.Documents) == 0 {
+			t.Fatalf("outage search %d returned no documents", i)
+		}
+		degraded := map[string]bool{}
+		for _, id := range ans.Degraded.Failed {
+			degraded[id] = true
+		}
+		for _, id := range ans.Degraded.Skipped {
+			degraded[id] = true
+		}
+		if !degraded["S0"] || !degraded["S1"] {
+			t.Errorf("outage search %d does not name the flapping sources: %s", i, ans.Degraded)
+		}
+	}
+	if !br.Broken("S0") || !br.Broken("S1") {
+		t.Fatalf("circuits not open after outage: S0=%v S1=%v", br.State("S0"), br.State("S1"))
+	}
+	if br.State("S2") != resilient.StateClosed {
+		t.Errorf("healthy source's circuit = %v, want closed", br.State("S2"))
+	}
+
+	// Recovery: the sources come back; after the cooldown a probe query
+	// succeeds and re-closes each circuit.
+	for _, fc := range flappy {
+		fc.SetFailing(false)
+	}
+	time.Sleep(40 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for (br.Broken("S0") || br.Broken("S1")) && time.Now().Before(deadline) {
+		if _, err := ms.Search(ctx, q); err != nil {
+			t.Fatalf("recovery search errored: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if br.State("S0") != resilient.StateClosed || br.State("S1") != resilient.StateClosed {
+		t.Fatalf("circuits did not re-close: S0=%v S1=%v", br.State("S0"), br.State("S1"))
+	}
+	ans, err = ms.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Contacted) != 5 || ans.Degraded.Any() {
+		t.Errorf("recovered phase: contacted %v, degraded %s", ans.Contacted, ans.Degraded)
+	}
+}
+
+// TestFaultInjectionAcceptance is the PR's acceptance scenario: 30%
+// per-source fault injection across 5 sources, with retries in front.
+// Every search must return a merged answer — never an all-or-nothing
+// error — and Answer.Degraded must name exactly the sources that failed.
+func TestFaultInjectionAcceptance(t *testing.T) {
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{Timeout: 2 * time.Second})
+	budget := resilient.NewBudget(50, 0.5)
+	policy := starts.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        99,
+	}
+	for i, c := range resilienceFleet(t, 5) {
+		fc := starts.NewFaultyConn(c, starts.FaultConfig{
+			Seed:      int64(100 + i),
+			ErrorRate: 0.3,
+		})
+		ms.Add(starts.NewRetryConn(fc, policy, budget))
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if ms.Harvest(ctx) == nil {
+			break
+		}
+	}
+
+	terms := []string{"databases", "metasearch", "distributed", "ranking"}
+	degradedRuns := 0
+	for i := 0; i < 40; i++ {
+		q := soakQuery(t, terms[i%len(terms)])
+		ans, err := ms.Search(ctx, q)
+		if err != nil {
+			t.Fatalf("search %d errored under 30%% faults (all-or-nothing): %v", i, err)
+		}
+		if len(ans.Documents) == 0 {
+			t.Fatalf("search %d returned no documents", i)
+		}
+		if ans.Degraded.Any() {
+			degradedRuns++
+		}
+		// Degraded.Failed must name exactly the contacted sources whose
+		// query failed.
+		failed := map[string]bool{}
+		for _, id := range ans.Degraded.Failed {
+			failed[id] = true
+		}
+		for _, id := range ans.Contacted {
+			oc := ans.PerSource[id]
+			if oc == nil {
+				t.Fatalf("search %d: contacted %s has no outcome", i, id)
+			}
+			if (oc.Err != nil) != failed[id] {
+				t.Errorf("search %d: %s err=%v but Degraded.Failed=%v", i, id, oc.Err, failed[id])
+			}
+		}
+	}
+	t.Logf("%d/40 searches degraded under 30%% fault injection", degradedRuns)
 }

@@ -27,11 +27,13 @@ import (
 	"starts/internal/client"
 	"starts/internal/core"
 	"starts/internal/engine"
+	"starts/internal/faulty"
 	"starts/internal/gloss"
 	"starts/internal/index"
 	"starts/internal/merge"
 	"starts/internal/meta"
 	"starts/internal/query"
+	"starts/internal/resilient"
 	"starts/internal/result"
 	"starts/internal/server"
 	"starts/internal/source"
@@ -158,6 +160,46 @@ type (
 // NewMetasearcher returns a metasearcher; zero options give vGlOSS Sum(0)
 // selection and TermStats merging.
 func NewMetasearcher(opts MetasearcherOptions) *Metasearcher { return core.New(opts) }
+
+// Resilience.
+type (
+	// RetryPolicy configures exponential backoff with jitter for a
+	// retrying Conn.
+	RetryPolicy = resilient.RetryPolicy
+	// RetryBudget caps retry amplification across many conns.
+	RetryBudget = resilient.Budget
+	// Breaker is a per-source circuit breaker, usable as
+	// MetasearcherOptions.Breaker.
+	Breaker = resilient.Breaker
+	// BreakerConfig configures a Breaker.
+	BreakerConfig = resilient.BreakerConfig
+	// Degradation reports how an answer fell short of a clean fan-out.
+	Degradation = core.Degradation
+	// FaultConfig configures deterministic fault injection, for tests
+	// and soak runs.
+	FaultConfig = faulty.Config
+	// FaultyConn is a fault-injecting Conn wrapper; SetFailing scripts
+	// outages.
+	FaultyConn = faulty.Conn
+)
+
+// NewRetryConn wraps a Conn with retries; budget may be nil or shared.
+func NewRetryConn(c Conn, p RetryPolicy, budget *RetryBudget) Conn {
+	return resilient.Wrap(c, p, budget)
+}
+
+// NewBreaker returns a circuit breaker; zero config takes the defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker { return resilient.NewBreaker(cfg) }
+
+// NewFaultyConn wraps a Conn with deterministic, seedable fault
+// injection.
+func NewFaultyConn(c Conn, cfg FaultConfig) *FaultyConn { return faulty.WrapConn(c, cfg) }
+
+// NewFaultMiddleware wraps an HTTP handler (e.g. a Server) with fault
+// injection.
+func NewFaultMiddleware(cfg FaultConfig, h http.Handler) http.Handler {
+	return faulty.Middleware(cfg, h)
+}
 
 // Selectors.
 var (
