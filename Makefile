@@ -1,0 +1,38 @@
+# Everything is Go stdlib-only; no tools beyond the go toolchain needed.
+
+GO      ?= go
+BINDIR  ?= /tmp/starts-bin
+
+.PHONY: build test vet race bench tier1 tier2 check cli clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# tier1 is the repo's baseline gate: everything must always pass.
+tier1: build test
+
+# tier2 adds static analysis and the race detector.
+tier2: vet race
+
+check: tier1 tier2
+
+# cli builds the command-line surfaces for manual verification
+# (see .claude/skills/verify/SKILL.md).
+cli:
+	$(GO) build -o $(BINDIR) ./cmd/...
+
+clean:
+	rm -rf $(BINDIR)
+	$(GO) clean

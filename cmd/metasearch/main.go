@@ -12,6 +12,10 @@
 // circuit breaker), -budget (total search deadline), -adaptive
 // (past-performance selection penalties), and -fault-rate/-fault-latency
 // /-fault-seed (client-side fault injection for testing).
+//
+// -trace prints the search's span tree (harvest, select, translate,
+// per-source fan-out, merge — with per-conn call spans and retry
+// annotations nested inside) and a metrics snapshot to stderr.
 package main
 
 import (
@@ -49,6 +53,7 @@ func main() {
 		faultRate       = flag.Float64("fault-rate", 0, "inject client-side faults: per-call error probability (testing)")
 		faultLatency    = flag.Duration("fault-latency", 0, "inject client-side faults: added per-call latency (testing)")
 		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection seed")
+		trace           = flag.Bool("trace", false, "print the search's span tree and a metrics snapshot to stderr")
 	)
 	flag.Parse()
 	if *resources == "" {
@@ -73,14 +78,17 @@ func main() {
 		log.Fatalf("metasearch: unknown merge strategy %q", *mergeName)
 	}
 
+	reg := starts.NewMetricsRegistry()
 	opts := starts.MetasearcherOptions{
 		Selector: sel, Merger: mrg, MaxSources: *maxSources,
 		Timeout: *timeout, PostFilter: *verify, Budget: *budget,
+		Metrics: reg,
 	}
 	var br *starts.Breaker
 	if *breakerAfter > 0 {
 		br = starts.NewBreaker(starts.BreakerConfig{
 			FailureThreshold: *breakerAfter, Cooldown: *breakerCooldown,
+			Metrics: reg,
 		})
 		opts.Breaker = br
 	}
@@ -92,9 +100,21 @@ func main() {
 		}
 		ms.SetSelector(as)
 	}
-	var retryBudget *starts.RetryBudget
+	// The per-conn stack, innermost first: faults are injected at the
+	// source, the observer times every attempt, and the retrier re-runs
+	// observed failures.
+	var mw []starts.ConnMiddleware
+	if *faultRate > 0 || *faultLatency > 0 {
+		mw = append(mw, starts.FaultyMiddleware(starts.FaultConfig{
+			Seed: *faultSeed, ErrorRate: *faultRate, Latency: *faultLatency,
+		}))
+	}
+	mw = append(mw, starts.ObserveMiddleware(reg))
 	if *retries > 0 {
-		retryBudget = &starts.RetryBudget{}
+		retryBudget := &starts.RetryBudget{}
+		mw = append(mw, starts.RetryMiddleware(starts.RetryPolicy{
+			MaxAttempts: *retries + 1, BaseDelay: *retryBase,
+		}, retryBudget))
 	}
 	ctx := context.Background()
 	hc := starts.NewClient(nil)
@@ -104,17 +124,7 @@ func main() {
 			log.Fatalf("metasearch: discovering %s: %v", url, err)
 		}
 		for _, c := range conns {
-			if *faultRate > 0 || *faultLatency > 0 {
-				c = starts.NewFaultyConn(c, starts.FaultConfig{
-					Seed: *faultSeed, ErrorRate: *faultRate, Latency: *faultLatency,
-				})
-			}
-			if *retries > 0 {
-				c = starts.NewRetryConn(c, starts.RetryPolicy{
-					MaxAttempts: *retries + 1, BaseDelay: *retryBase,
-				}, retryBudget)
-			}
-			ms.Add(c)
+			ms.Add(starts.ChainConn(c, mw...))
 		}
 	}
 	if err := ms.Harvest(ctx); err != nil {
@@ -136,7 +146,16 @@ func main() {
 	}
 	q.MaxResults = *max
 
-	answer, err := ms.Search(ctx, q)
+	var tr starts.Trace
+	var sopts []starts.SearchOption
+	if *trace {
+		sopts = append(sopts, starts.WithTrace(&tr))
+	}
+	answer, err := ms.Search(ctx, q, sopts...)
+	if *trace {
+		fmt.Fprint(os.Stderr, tr.Snapshot().Tree())
+		fmt.Fprint(os.Stderr, reg.Render())
+	}
 	if err != nil {
 		log.Fatalf("metasearch: %v", err)
 	}

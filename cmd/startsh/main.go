@@ -8,7 +8,7 @@
 //	select <ranking-expr>           rank sources for a query (vGlOSS)
 //	q <ranking-expr>                metasearch with a ranking expression
 //	f <filter-expr>                 metasearch with a filter expression
-//	stats                           per-source latency/failure statistics
+//	stats                           per-source statistics + metrics snapshot
 //	help                            this text
 //	quit
 //
@@ -16,7 +16,8 @@
 //
 // Resilience flags: -retries (per-call retries with backoff),
 // -breaker-after/-breaker-cooldown (per-source circuit breaker, state
-// shown by stats), -budget (total deadline per search).
+// shown by stats), -budget (total deadline per search). With -trace,
+// every q/f command prints the search's span tree.
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		retries         = flag.Int("retries", 0, "retry each source call up to N extra times with exponential backoff")
 		breakerAfter    = flag.Int("breaker-after", 0, "open a source's circuit after N consecutive failures (0 = no breaker)")
 		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit sheds traffic before probing")
+		trace           = flag.Bool("trace", false, "print each q/f search's span tree")
 	)
 	flag.Parse()
 	if *resources == "" {
@@ -47,18 +49,21 @@ func main() {
 	}
 	ctx := context.Background()
 	hc := starts.NewClient(nil)
-	opts := starts.MetasearcherOptions{Timeout: 15 * time.Second, Budget: *budget}
+	reg := starts.NewMetricsRegistry()
+	opts := starts.MetasearcherOptions{Timeout: 15 * time.Second, Budget: *budget, Metrics: reg}
 	var br *starts.Breaker
 	if *breakerAfter > 0 {
 		br = starts.NewBreaker(starts.BreakerConfig{
 			FailureThreshold: *breakerAfter, Cooldown: *breakerCooldown,
+			Metrics: reg,
 		})
 		opts.Breaker = br
 	}
 	ms := starts.NewMetasearcher(opts)
-	var retryBudget *starts.RetryBudget
+	mw := []starts.ConnMiddleware{starts.ObserveMiddleware(reg)}
 	if *retries > 0 {
-		retryBudget = &starts.RetryBudget{}
+		retryBudget := &starts.RetryBudget{}
+		mw = append(mw, starts.RetryMiddleware(starts.RetryPolicy{MaxAttempts: *retries + 1}, retryBudget))
 	}
 	for _, url := range strings.Split(*resources, ",") {
 		conns, err := hc.Discover(ctx, strings.TrimSpace(url))
@@ -67,10 +72,7 @@ func main() {
 			os.Exit(1)
 		}
 		for _, c := range conns {
-			if *retries > 0 {
-				c = starts.NewRetryConn(c, starts.RetryPolicy{MaxAttempts: *retries + 1}, retryBudget)
-			}
-			ms.Add(c)
+			ms.Add(starts.ChainConn(c, mw...))
 		}
 	}
 	if err := ms.Harvest(ctx); err != nil {
@@ -79,7 +81,7 @@ func main() {
 	}
 	fmt.Printf("harvested %d sources; type help for commands\n", len(ms.SourceIDs()))
 
-	sh := &shell{ms: ms, ctx: ctx, br: br}
+	sh := &shell{ms: ms, ctx: ctx, br: br, reg: reg, trace: *trace}
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("starts> ")
 	for scanner.Scan() {
@@ -96,9 +98,11 @@ func main() {
 }
 
 type shell struct {
-	ms  *starts.Metasearcher
-	ctx context.Context
-	br  *starts.Breaker
+	ms    *starts.Metasearcher
+	ctx   context.Context
+	br    *starts.Breaker
+	reg   *starts.MetricsRegistry
+	trace bool
 }
 
 func (s *shell) dispatch(line string) {
@@ -164,7 +168,15 @@ func (s *shell) dispatch(line string) {
 			return
 		}
 		q.MaxResults = 10
-		ans, err := s.ms.Search(s.ctx, q)
+		var tr starts.Trace
+		var sopts []starts.SearchOption
+		if s.trace {
+			sopts = append(sopts, starts.WithTrace(&tr))
+		}
+		ans, err := s.ms.Search(s.ctx, q, sopts...)
+		if s.trace {
+			fmt.Print(tr.Snapshot().Tree())
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -177,19 +189,21 @@ func (s *shell) dispatch(line string) {
 			fmt.Printf("%2d. %8.3f  %-55s %v\n", i+1, d.RawScore, clip(d.Title(), 55), d.Sources)
 		}
 	case "stats":
-		for _, id := range s.ms.SourceIDs() {
+		// One consistent snapshot (IDs and stats under a single lock
+		// acquisition) rather than a racy per-source Stats loop.
+		for _, e := range s.ms.StatsSnapshot() {
 			circuit := ""
 			if s.br != nil {
-				circuit = " circuit=" + s.br.State(id).String()
+				circuit = " circuit=" + s.br.State(e.ID).String()
 			}
-			st, ok := s.ms.Stats(id)
-			if !ok {
-				fmt.Printf("  %-24s (no queries yet)%s\n", id, circuit)
+			if !e.Queried {
+				fmt.Printf("  %-24s (no queries yet)%s\n", e.ID, circuit)
 				continue
 			}
 			fmt.Printf("  %-24s queries=%d failures=%d mean-latency=%v%s\n",
-				id, st.Queries, st.Failures, st.MeanLatency.Round(time.Millisecond), circuit)
+				e.ID, e.Stats.Queries, e.Stats.Failures, e.Stats.MeanLatency.Round(time.Millisecond), circuit)
 		}
+		fmt.Print(s.reg.Render())
 	default:
 		fmt.Printf("unknown command %q (try help)\n", cmd)
 	}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// taggingConn stamps its tag onto the metadata SourceName on the way
+// out, so the wrapping order of a chain is visible in the result.
+type taggingConn struct {
+	inner Conn
+	tag   string
+}
+
+func (c *taggingConn) SourceID() string { return c.inner.SourceID() }
+
+func (c *taggingConn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
+	m, err := c.inner.Metadata(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m.SourceName += c.tag
+	return m, nil
+}
+
+func (c *taggingConn) Summary(ctx context.Context) (*meta.ContentSummary, error) {
+	return c.inner.Summary(ctx)
+}
+
+func (c *taggingConn) Sample(ctx context.Context) ([]*source.SampleEntry, error) {
+	return c.inner.Sample(ctx)
+}
+
+func (c *taggingConn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	return c.inner.Query(ctx, q)
+}
+
+type baseConn struct{}
+
+func (baseConn) SourceID() string { return "base" }
+
+func (baseConn) Metadata(context.Context) (*meta.SourceMeta, error) {
+	return &meta.SourceMeta{SourceID: "base", SourceName: "|"}, nil
+}
+
+func (baseConn) Summary(context.Context) (*meta.ContentSummary, error) {
+	return &meta.ContentSummary{}, nil
+}
+
+func (baseConn) Sample(context.Context) ([]*source.SampleEntry, error) { return nil, nil }
+
+func (baseConn) Query(context.Context, *query.Query) (*result.Results, error) {
+	return &result.Results{}, nil
+}
+
+func tagger(tag string) Middleware {
+	return func(c Conn) Conn { return &taggingConn{inner: c, tag: tag} }
+}
+
+func TestChainOrder(t *testing.T) {
+	// The first middleware is innermost: it touches the response first,
+	// so its tag lands closest to the base marker.
+	conn := Chain(baseConn{}, tagger("a"), tagger("b"), tagger("c"))
+	m, err := conn.Metadata(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SourceName != "|abc" {
+		t.Errorf("SourceName = %q, want %q", m.SourceName, "|abc")
+	}
+}
+
+func TestChainSkipsNilAndEmpty(t *testing.T) {
+	base := baseConn{}
+	if got := Chain(base); got != Conn(base) {
+		t.Errorf("empty chain should return the conn unchanged")
+	}
+	conn := Chain(base, nil, tagger("x"), nil)
+	m, err := conn.Metadata(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SourceName != "|x" {
+		t.Errorf("SourceName = %q, want %q", m.SourceName, "|x")
+	}
+}

@@ -34,6 +34,29 @@ type Conn interface {
 	Query(ctx context.Context, q *query.Query) (*result.Results, error)
 }
 
+// Middleware decorates a Conn with one cross-cutting concern — retries,
+// fault injection, instrumentation — so wrapping order is explicit and
+// composable at the call site instead of buried in nested constructors.
+type Middleware func(Conn) Conn
+
+// Chain wraps conn with the given middlewares. The first middleware ends
+// up innermost (closest to the source) and the last outermost (it sees
+// every call first):
+//
+//	Chain(conn, faults, observe, retry)
+//
+// builds retry(observe(faults(conn))) — faults are injected at the
+// source, the observer times every attempt, and the retrier decides
+// which failures to re-run. Nil middlewares are skipped.
+func Chain(conn Conn, mw ...Middleware) Conn {
+	for _, m := range mw {
+		if m != nil {
+			conn = m(conn)
+		}
+	}
+	return conn
+}
+
 // maxResponseBytes bounds response bodies read from remote sources.
 const maxResponseBytes = 64 << 20
 

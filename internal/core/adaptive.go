@@ -74,9 +74,49 @@ func (b *statsBook) get(id string) (SourceStats, bool) {
 	return *s, true
 }
 
+// snapshot copies the whole book under one lock acquisition.
+func (b *statsBook) snapshot() map[string]SourceStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]SourceStats, len(b.m))
+	for id, s := range b.m {
+		out[id] = *s
+	}
+	return out
+}
+
 // Stats returns the accumulated statistics for a source.
 func (m *Metasearcher) Stats(id string) (SourceStats, bool) {
 	return m.stats.get(id)
+}
+
+// SourceStatEntry is one registered source's row in a StatsSnapshot.
+type SourceStatEntry struct {
+	// ID is the source, in registration order.
+	ID string
+	// Stats is the source's accumulated past performance.
+	Stats SourceStats
+	// Queried reports whether any query has reached the source yet (a
+	// zero Stats is ambiguous on its own).
+	Queried bool
+}
+
+// StatsSnapshot returns every registered source with its statistics, in
+// registration order. Unlike interleaving SourceIDs with per-ID Stats
+// calls, the source list and the stats book are each captured under a
+// single lock acquisition, so a concurrent Add or an in-flight fan-out
+// cannot skew one row of the display against another.
+func (m *Metasearcher) StatsSnapshot() []SourceStatEntry {
+	m.mu.RLock()
+	order := append([]string(nil), m.order...)
+	m.mu.RUnlock()
+	book := m.stats.snapshot()
+	out := make([]SourceStatEntry, len(order))
+	for i, id := range order {
+		st, ok := book[id]
+		out[i] = SourceStatEntry{ID: id, Stats: st, Queried: ok}
+	}
+	return out
 }
 
 // AdaptiveSelector wraps a content-based selector with past-performance

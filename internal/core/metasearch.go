@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"starts/internal/gloss"
 	"starts/internal/merge"
 	"starts/internal/meta"
+	"starts/internal/obs"
 	"starts/internal/query"
 	"starts/internal/result"
 	"starts/internal/translate"
@@ -48,6 +50,11 @@ type Options struct {
 	// PostFilter enables verification mode: results are re-checked
 	// against query parts a source could not evaluate.
 	PostFilter bool
+	// Metrics receives the metasearcher's counters, gauges and latency
+	// histograms; nil allocates a private registry, so instrumentation is
+	// always on (retrieve it with Metasearcher.Metrics). Share one
+	// registry across components to get a single /metrics view.
+	Metrics *obs.Registry
 	// Now overrides the clock, for cache-expiry tests.
 	Now func() time.Time
 }
@@ -62,7 +69,8 @@ type Metasearcher struct {
 	order   []string
 	entries map[string]*entry
 
-	stats *statsBook
+	stats   *statsBook
+	metrics *obs.Registry
 }
 
 // BreakerGate admits or refuses traffic to sources. It is satisfied by
@@ -102,15 +110,26 @@ func New(opts Options) *Metasearcher {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
 	return &Metasearcher{
 		opts:    opts,
 		conns:   map[string]client.Conn{},
 		entries: map[string]*entry{},
 		stats:   newStatsBook(),
+		metrics: opts.Metrics,
 	}
 }
 
+// Metrics returns the registry this metasearcher records into.
+func (m *Metasearcher) Metrics() *obs.Registry { return m.metrics }
+
 // SetSelector replaces the source-selection strategy.
+//
+// Deprecated: mutating shared options races against in-flight searches;
+// pass WithSelector to Search (or set Options.Selector at construction)
+// instead.
 func (m *Metasearcher) SetSelector(s gloss.Selector) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -118,6 +137,10 @@ func (m *Metasearcher) SetSelector(s gloss.Selector) {
 }
 
 // SetMerger replaces the rank-merging strategy.
+//
+// Deprecated: mutating shared options races against in-flight searches;
+// pass WithMerger to Search (or set Options.Merger at construction)
+// instead.
 func (m *Metasearcher) SetMerger(s merge.Strategy) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -126,6 +149,10 @@ func (m *Metasearcher) SetMerger(s merge.Strategy) {
 
 // SetMaxSources changes how many sources a query contacts (0 = all
 // promising ones).
+//
+// Deprecated: mutating shared options races against in-flight searches;
+// pass WithMaxSources to Search (or set Options.MaxSources at
+// construction) instead.
 func (m *Metasearcher) SetMaxSources(n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -143,6 +170,7 @@ func (m *Metasearcher) Add(c client.Conn) {
 	}
 	m.conns[id] = c
 	delete(m.entries, id)
+	m.metrics.Gauge("starts_sources_registered").Set(int64(len(m.conns)))
 }
 
 // SourceIDs lists registered sources in registration order.
@@ -177,6 +205,7 @@ func (m *Metasearcher) Harvest(ctx context.Context) error {
 // errors; healthy sources are cached regardless of their siblings.
 func (m *Metasearcher) harvestAll(ctx context.Context) map[string]error {
 	m.mu.RLock()
+	total := len(m.order)
 	var stale []string
 	for _, id := range m.order {
 		if m.expired(m.entries[id]) {
@@ -184,6 +213,8 @@ func (m *Metasearcher) harvestAll(ctx context.Context) map[string]error {
 		}
 	}
 	m.mu.RUnlock()
+	m.metrics.Counter("starts_harvest_cache_hits_total").Add(int64(total - len(stale)))
+	m.metrics.Counter("starts_harvest_cache_misses_total").Add(int64(len(stale)))
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(stale))
@@ -204,13 +235,17 @@ func (m *Metasearcher) harvestAll(ctx context.Context) map[string]error {
 	return out
 }
 
-func (m *Metasearcher) harvestOne(ctx context.Context, id string) error {
+func (m *Metasearcher) harvestOne(ctx context.Context, id string) (err error) {
+	sp := obs.SpanFrom(ctx).Child("harvest " + id)
+	sp.SetSource(id)
+	defer func() { sp.End(err) }()
 	m.mu.RLock()
 	conn := m.conns[id]
 	m.mu.RUnlock()
 	if conn == nil {
 		return fmt.Errorf("core: unknown source %q", id)
 	}
+	ctx = obs.WithSpan(ctx, sp)
 	md, err := conn.Metadata(ctx)
 	if err != nil {
 		m.keepStale(id)
@@ -315,19 +350,49 @@ type Answer struct {
 	Unverifiable []query.Term
 	// Degraded reports skipped, stale and failed sources.
 	Degraded Degradation
+	// Trace is the search's span tree: harvest, select, translate,
+	// per-source fan-out and merge, each timed and annotated. It is always
+	// set; pass WithTrace to keep the trace when Search fails.
+	Trace *obs.Trace
 }
 
 // Search runs the full metasearch pipeline for a query. Sources must have
 // been harvested first (Search harvests lazily if needed). Per-source
 // failures are recorded in the answer, not returned as errors; Search only
 // fails if the query is invalid or no source could be contacted.
-func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, error) {
+//
+// Per-query SearchOptions override the constructor baseline for this call
+// only; the shared Options are never mutated. Every search records a
+// Trace (five timed stages: harvest, select, translate, per-source
+// fan-out, merge) into Answer.Trace — or into a caller-owned trace via
+// WithTrace — and counts into the metasearcher's metrics registry.
+func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...SearchOption) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	m.mu.RLock()
-	opts := m.opts
+	cfg := searchConfig{Options: m.opts}
 	m.mu.RUnlock()
+	for _, o := range sopts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	opts := cfg.Options
+
+	tr := cfg.trace
+	if tr == nil {
+		tr = &obs.Trace{}
+	}
+	tr.Begin(describeQuery(q))
+	defer tr.Finish()
+	ctx = obs.WithTrace(obs.WithMetrics(ctx, m.metrics), tr)
+	m.metrics.Counter("starts_searches_total").Inc()
+	searchStart := time.Now()
+	defer func() {
+		m.metrics.Histogram("starts_search_seconds").Observe(time.Since(searchStart))
+	}()
+
 	// The budget bounds the whole call — harvesting included — while
 	// Timeout below bounds each individual source.
 	if opts.Budget > 0 {
@@ -337,7 +402,10 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 	}
 	// Best-effort harvesting: an unreachable source must not block the
 	// healthy ones; its error is recorded in the answer instead.
-	harvestErrs := m.harvestAll(ctx)
+	hsp := tr.StartSpan("harvest")
+	harvestErrs := m.harvestAll(obs.WithSpan(ctx, hsp))
+	hsp.Annotate("errors", strconv.Itoa(len(harvestErrs)))
+	hsp.End(nil)
 
 	m.mu.RLock()
 	infos := make([]gloss.SourceInfo, 0, len(m.order))
@@ -358,13 +426,18 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 		return nil, fmt.Errorf("core: no sources registered")
 	}
 
+	ssp := tr.StartSpan("select")
 	ranked := opts.Selector.Rank(q, infos)
 	contacted := pick(ranked, opts.MaxSources)
+	ssp.Annotate("selector", opts.Selector.Name())
+	ssp.Annotate("candidates", strconv.Itoa(len(ranked)))
+	ssp.Annotate("picked", strconv.Itoa(len(contacted)))
+	ssp.End(nil)
 	if len(contacted) == 0 {
 		return nil, fmt.Errorf("core: no promising sources for query (of %d registered)", len(infos))
 	}
 
-	answer := &Answer{Selected: ranked, PerSource: map[string]*SourceOutcome{}}
+	answer := &Answer{Selected: ranked, PerSource: map[string]*SourceOutcome{}, Trace: tr}
 	for id, err := range harvestErrs {
 		answer.PerSource[id] = &SourceOutcome{Err: fmt.Errorf("core: harvesting %s: %w", id, err)}
 		if !staleIDs[id] {
@@ -386,8 +459,11 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 		contacted = admitted
 	}
 	answer.Contacted = contacted
-	outcomes := m.fanOut(ctx, q, contacted, opts)
 
+	plans := m.translateAll(tr, q, contacted)
+	outcomes := m.fanOut(ctx, contacted, plans, opts)
+
+	msp := tr.StartSpan("merge")
 	var inputs []merge.SourceResult
 	for _, id := range contacted {
 		oc := outcomes[id]
@@ -413,7 +489,11 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 		})
 	}
 	answer.Degraded.sort()
+	msp.Annotate("strategy", opts.Merger.Name())
+	msp.Annotate("inputs", strconv.Itoa(len(inputs)))
 	if len(inputs) == 0 {
+		msp.Annotate("docs", "0")
+		msp.End(nil)
 		// Every contacted source failed outright: surface the errors —
 		// unless the breaker shed some sources, in which case a degraded
 		// empty answer is the honest result and the caller can retry
@@ -434,7 +514,24 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query) (*Answer, err
 	if max := q.EffectiveMaxResults(); len(answer.Documents) > max {
 		answer.Documents = answer.Documents[:max]
 	}
+	msp.Annotate("docs", strconv.Itoa(len(answer.Documents)))
+	msp.End(nil)
+	m.metrics.Counter(obs.L("starts_merge_docs_total", "strategy", opts.Merger.Name())).
+		Add(int64(len(answer.Documents)))
 	return answer, nil
+}
+
+// describeQuery renders a query compactly for traces and debug pages.
+func describeQuery(q *query.Query) string {
+	switch {
+	case q.Filter != nil && q.Ranking != nil:
+		return fmt.Sprintf("filter %v ranking %v", q.Filter, q.Ranking)
+	case q.Filter != nil:
+		return fmt.Sprintf("filter %v", q.Filter)
+	case q.Ranking != nil:
+		return fmt.Sprintf("ranking %v", q.Ranking)
+	}
+	return "(empty)"
 }
 
 // joinSorted aggregates per-source errors deterministically, sorted by
@@ -484,9 +581,65 @@ func pick(ranked []gloss.Ranked, maxSources int) []string {
 	return ids
 }
 
-// fanOut queries the chosen sources concurrently under the per-source
-// timeout.
-func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string, opts Options) map[string]*SourceOutcome {
+// sourcePlan is one contacted source's prepared fan-out work: its
+// connection, harvested state and translated query — or the reason it
+// cannot be queried at all.
+type sourcePlan struct {
+	conn   client.Conn
+	stale  bool
+	sent   *query.Query
+	report *translate.Report
+	err    error // lookup or translation failure; skips the network call
+}
+
+// translateAll runs the translation stage: each contacted source gets the
+// query rewritten against its harvested metadata, under its own span, so
+// a trace shows exactly what each source was asked and what was dropped.
+func (m *Metasearcher) translateAll(tr *obs.Trace, q *query.Query, ids []string) map[string]*sourcePlan {
+	tsp := tr.StartSpan("translate")
+	defer tsp.End(nil)
+	m.mu.RLock()
+	conns := make(map[string]client.Conn, len(ids))
+	entries := make(map[string]*entry, len(ids))
+	for _, id := range ids {
+		conns[id] = m.conns[id]
+		entries[id] = m.entries[id]
+	}
+	m.mu.RUnlock()
+
+	plans := make(map[string]*sourcePlan, len(ids))
+	for _, id := range ids {
+		sp := tsp.Child("translate " + id)
+		sp.SetSource(id)
+		p := &sourcePlan{conn: conns[id]}
+		plans[id] = p
+		e := entries[id]
+		if p.conn == nil || e == nil {
+			p.err = fmt.Errorf("core: source %q not harvested", id)
+			sp.End(p.err)
+			continue
+		}
+		p.stale = e.stale
+		p.sent, p.report = translate.ForSource(q, e.meta)
+		if p.sent.Filter == nil && p.sent.Ranking == nil {
+			p.err = fmt.Errorf("core: nothing of the query survives translation for %s", id)
+			sp.End(p.err)
+			continue
+		}
+		if p.report != nil && !p.report.Clean() {
+			sp.Annotate("dropped-terms", strconv.Itoa(len(p.report.DroppedTerms)))
+		}
+		sp.End(nil)
+	}
+	return plans
+}
+
+// fanOut queries the planned sources concurrently under the per-source
+// timeout, each under its own child span of the "fanout" stage.
+func (m *Metasearcher) fanOut(ctx context.Context, ids []string, plans map[string]*sourcePlan, opts Options) map[string]*SourceOutcome {
+	fsp := obs.TraceFrom(ctx).StartSpan("fanout")
+	defer fsp.End(nil)
+	ctx = obs.WithSpan(ctx, fsp)
 	outcomes := make(map[string]*SourceOutcome, len(ids))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -494,7 +647,7 @@ func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string,
 		wg.Add(1)
 		go func(id string) {
 			defer wg.Done()
-			oc := m.queryOne(ctx, q, id, opts)
+			oc := m.queryOne(ctx, id, plans[id], opts)
 			mu.Lock()
 			outcomes[id] = oc
 			mu.Unlock()
@@ -504,36 +657,36 @@ func (m *Metasearcher) fanOut(ctx context.Context, q *query.Query, ids []string,
 	return outcomes
 }
 
-func (m *Metasearcher) queryOne(ctx context.Context, q *query.Query, id string, opts Options) *SourceOutcome {
-	oc := &SourceOutcome{}
-	m.mu.RLock()
-	conn := m.conns[id]
-	e := m.entries[id]
-	m.mu.RUnlock()
-	if conn == nil || e == nil {
-		oc.Err = fmt.Errorf("core: source %q not harvested", id)
+func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan, opts Options) *SourceOutcome {
+	oc := &SourceOutcome{Stale: plan.stale, Sent: plan.sent, Report: plan.report}
+	if plan.err != nil {
+		oc.Err = plan.err
 		return oc
 	}
-	oc.Stale = e.stale
-	oc.Sent, oc.Report = translate.ForSource(q, e.meta)
-	if oc.Sent.Filter == nil && oc.Sent.Ranking == nil {
-		oc.Err = fmt.Errorf("core: nothing of the query survives translation for %s", id)
-		return oc
+	sp := obs.SpanFrom(ctx).Child("query " + id)
+	sp.SetSource(id)
+	if plan.stale {
+		sp.Annotate("stale", "true")
 	}
-	cctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	cctx, cancel := context.WithTimeout(obs.WithSpan(ctx, sp), opts.Timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := conn.Query(cctx, oc.Sent)
+	res, err := plan.conn.Query(cctx, plan.sent)
 	oc.Elapsed = time.Since(start)
+	sp.End(err)
 	if opts.Breaker != nil {
 		opts.Breaker.Record(id, err)
 	}
+	m.metrics.Counter(obs.L("starts_source_queries_total", "source", id)).Inc()
+	m.metrics.Histogram(obs.L("starts_source_query_seconds", "source", id)).Observe(oc.Elapsed)
 	if err != nil {
 		oc.Err = fmt.Errorf("core: querying %s: %w", id, err)
 		m.stats.record(id, oc.Elapsed, true, 0)
+		m.metrics.Counter(obs.L("starts_source_query_errors_total", "source", id)).Inc()
 		return oc
 	}
 	oc.Results = res
+	sp.Annotate("docs", strconv.Itoa(len(res.Documents)))
 	m.stats.record(id, oc.Elapsed, false, len(res.Documents))
 	return oc
 }

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"starts/internal/client"
+	"starts/internal/faulty"
+	"starts/internal/gloss"
+	"starts/internal/merge"
+	"starts/internal/obs"
+	"starts/internal/resilient"
+)
+
+// TestSearchTraceFanOut drives a traced search across the three healthy
+// fleet sources plus one that fails at query time, and checks the span
+// tree: the five pipeline stages at the top level, per-source children
+// under harvest/translate/fanout, and the failure annotated on the
+// broken source's query span.
+func TestSearchTraceFanOut(t *testing.T) {
+	ms, _ := fleet(t)
+	ms.Add(&failingConn{id: "broken"})
+	q := rankingQuery(t, `list((body-of-text "databases"))`)
+
+	var tr obs.Trace
+	ans, err := ms.Search(context.Background(), q, WithTrace(&tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace != &tr {
+		t.Error("Answer.Trace should be the caller's trace")
+	}
+	ti := tr.Snapshot()
+	if ti.Duration <= 0 {
+		t.Error("trace should be finished")
+	}
+
+	var stages []string
+	for _, sp := range ti.Spans {
+		stages = append(stages, sp.Name)
+	}
+	want := []string{"harvest", "select", "translate", "fanout", "merge"}
+	if strings.Join(stages, " ") != strings.Join(want, " ") {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+
+	// All four sources were harvested; selection drops the off-topic
+	// garden source, so translate and fan-out carry the three promising
+	// ones. Every per-source span lives under its stage, not at the top
+	// level.
+	for stage, want := range map[string]struct {
+		prefix string
+		n      int
+	}{
+		"harvest":   {"harvest ", 4},
+		"translate": {"translate ", 3},
+		"fanout":    {"query ", 3},
+	} {
+		sp := ti.Find(stage)
+		if len(sp.Children) != want.n {
+			t.Errorf("%s children = %d, want %d: %+v", stage, len(sp.Children), want.n, sp.Children)
+		}
+		for _, c := range sp.Children {
+			if !strings.HasPrefix(c.Name, want.prefix) || c.Source == "" {
+				t.Errorf("%s child = %q [%s]", stage, c.Name, c.Source)
+			}
+		}
+	}
+	// 5 stages + 4 harvests + 3 translations + 3 queries.
+	if got := ti.SpanCount(); got != 15 {
+		t.Errorf("SpanCount = %d, want 15", got)
+	}
+
+	if sp := ti.Find("query broken"); sp == nil || !strings.Contains(sp.Err, "source down") {
+		t.Errorf("broken query span = %+v", sp)
+	}
+	if sp := ti.Find("query cs"); sp == nil || sp.Err != "" {
+		t.Errorf("cs query span = %+v", sp)
+	} else if docs, ok := sp.Attr("docs"); !ok || docs == "0" {
+		t.Errorf("cs docs annotation = %q %v", docs, ok)
+	}
+	if sel := ti.Find("select"); sel == nil {
+		t.Error("select span missing")
+	} else if picked, _ := sel.Attr("picked"); picked != "3" {
+		t.Errorf("select picked = %q", picked)
+	}
+	if mg := ti.Find("merge"); mg == nil {
+		t.Error("merge span missing")
+	} else if s, _ := mg.Attr("strategy"); s == "" {
+		t.Error("merge strategy annotation missing")
+	}
+
+	// The same trace can be reused for the next search; the second run
+	// hits the harvest cache, so the harvest stage has no children.
+	if _, err := ms.Search(context.Background(), q, WithTrace(&tr)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Snapshot().SpanCount(); got != 11 {
+		t.Errorf("reused trace SpanCount = %d, want 11", got)
+	}
+}
+
+// TestSearchRecordsMetrics checks the registry side of a search: search
+// and per-source counters, latency histogram population, and harvest
+// cache hit/miss accounting across repeated searches.
+func TestSearchRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	fleetMS, srcs := fleet(t)
+	_ = fleetMS // fleet only provides the corpus; this test wants its own registry
+	ms := New(Options{Timeout: 5 * time.Second, Metrics: reg})
+	for _, id := range []string{"cs", "garden", "archive"} {
+		ms.Add(client.NewLocalConn(srcs[id], nil))
+	}
+	q := rankingQuery(t, `list((body-of-text "databases"))`)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := ms.Search(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("starts_searches_total").Value(); got != 2 {
+		t.Errorf("searches_total = %d", got)
+	}
+	if got := reg.Gauge("starts_sources_registered").Value(); got != 3 {
+		t.Errorf("sources_registered = %d", got)
+	}
+	// First search harvests all three sources (misses); the second runs
+	// entirely off the cache (hits).
+	if got := reg.Counter("starts_harvest_cache_misses_total").Value(); got != 3 {
+		t.Errorf("cache misses = %d", got)
+	}
+	if got := reg.Counter("starts_harvest_cache_hits_total").Value(); got != 3 {
+		t.Errorf("cache hits = %d", got)
+	}
+	h := reg.Histogram("starts_search_seconds")
+	if h.Count() != 2 {
+		t.Errorf("search_seconds count = %d", h.Count())
+	}
+	var bucketed int64
+	for _, n := range h.BucketCounts() {
+		bucketed += n
+	}
+	if bucketed != 2 {
+		t.Errorf("search_seconds bucket counts sum to %d: %v", bucketed, h.BucketCounts())
+	}
+	if got := reg.Histogram(obs.L("starts_source_query_seconds", "source", "cs")).Count(); got != 2 {
+		t.Errorf("cs query_seconds count = %d", got)
+	}
+	if got := reg.Counter(obs.L("starts_merge_docs_total", "strategy", merge.TermStats{}.Name())).Value(); got == 0 {
+		t.Error("merge_docs_total should be non-zero")
+	}
+}
+
+// TestBreakerFlapMetrics scripts an outage with the fault injector and
+// watches the breaker-transition counters: the circuit opens during the
+// outage, goes half-open at the first post-cooldown probe, and closes
+// when the probe succeeds.
+func TestBreakerFlapMetrics(t *testing.T) {
+	_, srcs := fleet(t)
+	reg := obs.NewRegistry()
+
+	clock := time.Now()
+	br := resilient.NewBreaker(resilient.BreakerConfig{
+		FailureThreshold: 2,
+		Cooldown:         time.Second,
+		Metrics:          reg,
+		Now:              func() time.Time { return clock },
+	})
+	fc := faulty.WrapConn(client.NewLocalConn(srcs["cs"], nil), faulty.Config{})
+	flappy := New(Options{Timeout: 5 * time.Second, Breaker: br, Metrics: reg})
+	flappy.Add(fc)
+	ctx := context.Background()
+	if err := flappy.Harvest(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	q := rankingQuery(t, `list((body-of-text "databases"))`)
+	count := func(to string) int64 {
+		return reg.Counter(obs.L("starts_breaker_transitions_total", "source", "cs", "to", to)).Value()
+	}
+
+	// Outage: two failing queries trip the threshold and open the circuit.
+	fc.SetFailing(true)
+	for i := 0; i < 2; i++ {
+		if _, err := flappy.Search(ctx, q); err == nil {
+			t.Fatal("search against a downed source should fail")
+		}
+	}
+	if got := count("open"); got != 1 {
+		t.Errorf("to=open transitions = %d, want 1", got)
+	}
+	// While open, the search is shed without reaching the source: the
+	// answer degrades to "skipped" instead of waiting out a timeout.
+	calls := fc.Calls()
+	shed, err := flappy.Search(ctx, q)
+	if err != nil {
+		t.Fatalf("shed search: %v", err)
+	}
+	if len(shed.Degraded.Skipped) != 1 {
+		t.Errorf("shed degradation = %+v", shed.Degraded)
+	}
+	if fc.Calls() != calls {
+		t.Errorf("open circuit still contacted the source (%d -> %d calls)", calls, fc.Calls())
+	}
+
+	// Recovery: past the cooldown the next search is admitted as the
+	// half-open probe, succeeds, and closes the circuit.
+	fc.SetFailing(false)
+	clock = clock.Add(2 * time.Second)
+	if _, err := flappy.Search(ctx, q); err != nil {
+		t.Fatalf("probe search: %v", err)
+	}
+	if got := count("half-open"); got != 1 {
+		t.Errorf("to=half-open transitions = %d, want 1", got)
+	}
+	if got := count("closed"); got != 1 {
+		t.Errorf("to=closed transitions = %d, want 1", got)
+	}
+	if br.State("cs") != resilient.StateClosed {
+		t.Errorf("final state = %v", br.State("cs"))
+	}
+}
+
+// TestSearchOptionsDoNotMutateShared verifies the per-query options
+// leave the metasearcher's baseline Options untouched, unlike the
+// deprecated mutators.
+func TestSearchOptionsDoNotMutateShared(t *testing.T) {
+	ms, _ := fleet(t)
+	q := rankingQuery(t, `list((body-of-text "databases"))`)
+	ctx := context.Background()
+
+	base, err := ms.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Contacted) < 2 {
+		t.Fatalf("baseline should contact several sources: %v", base.Contacted)
+	}
+
+	one, err := ms.Search(ctx, q,
+		WithMaxSources(1),
+		WithSelector(gloss.VMax{}),
+		WithMerger(merge.RoundRobin{}),
+		WithTimeout(time.Second),
+		WithBudget(10*time.Second),
+		WithPostFilter(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Contacted) != 1 {
+		t.Errorf("WithMaxSources(1) contacted %v", one.Contacted)
+	}
+
+	// The overrides were per-call: the next plain search behaves like the
+	// first.
+	again, err := ms.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Contacted) != len(base.Contacted) {
+		t.Errorf("baseline mutated: contacted %v then %v", base.Contacted, again.Contacted)
+	}
+}
+
+// TestDeprecatedSettersStillWork pins the compatibility promise on the
+// deprecated mutators.
+func TestDeprecatedSettersStillWork(t *testing.T) {
+	ms, _ := fleet(t)
+	ms.SetSelector(gloss.VMax{})
+	ms.SetMerger(merge.RoundRobin{})
+	ms.SetMaxSources(1)
+	q := rankingQuery(t, `list((body-of-text "databases"))`)
+	ans, err := ms.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Contacted) != 1 {
+		t.Errorf("SetMaxSources(1) contacted %v", ans.Contacted)
+	}
+}
+
+// TestStatsSnapshotConsistent exercises the one-lock stats snapshot.
+func TestStatsSnapshotConsistent(t *testing.T) {
+	ms, _ := fleet(t)
+	q := rankingQuery(t, `list((body-of-text "databases"))`)
+	if _, err := ms.Search(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	snap := ms.StatsSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot entries = %d: %+v", len(snap), snap)
+	}
+	queried := 0
+	for _, e := range snap {
+		if e.ID == "" {
+			t.Errorf("entry without ID: %+v", e)
+		}
+		if e.Queried {
+			queried++
+			if e.Stats.Queries == 0 {
+				t.Errorf("%s queried but zero queries: %+v", e.ID, e.Stats)
+			}
+		}
+	}
+	if queried == 0 {
+		t.Error("no entry marked queried")
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"time"
+
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// SourceConn mirrors client.Conn method-for-method. obs declares its own
+// copy of the interface instead of importing the client package, so the
+// dependency keeps pointing outward: client-side wrappers, servers and
+// core all import obs, and obs imports only the leaf object packages.
+// Any client.Conn satisfies SourceConn and vice versa (Go interfaces are
+// structural); the facade asserts the equivalence.
+type SourceConn interface {
+	SourceID() string
+	Metadata(ctx context.Context) (*meta.SourceMeta, error)
+	Summary(ctx context.Context) (*meta.ContentSummary, error)
+	Sample(ctx context.Context) ([]*source.SampleEntry, error)
+	Query(ctx context.Context, q *query.Query) (*result.Results, error)
+}
+
+// Conn wraps a source connection with instrumentation: every call opens
+// a child span under the context's current span (so per-source fan-out
+// spans show the conn-level timing nested inside them) and records
+// per-source, per-operation call counts, error counts and latency
+// histograms into the registry.
+//
+// Metric names:
+//
+//	starts_conn_calls_total{source,op}
+//	starts_conn_errors_total{source,op}
+//	starts_conn_seconds{source,op} (histogram)
+type Conn struct {
+	inner SourceConn
+	reg   *Registry
+}
+
+var _ SourceConn = (*Conn)(nil)
+
+// WrapConn returns an instrumented wrapper around inner recording into
+// reg. A nil registry still produces spans; a bare context still records
+// metrics — each half degrades independently.
+func WrapConn(inner SourceConn, reg *Registry) *Conn {
+	return &Conn{inner: inner, reg: reg}
+}
+
+// observe runs one instrumented call.
+func observe[T any](c *Conn, ctx context.Context, op string, f func(context.Context) (T, error)) (T, error) {
+	id := c.inner.SourceID()
+	sp := SpanFrom(ctx).Child("conn." + op)
+	sp.SetSource(id)
+	start := time.Now()
+	v, err := f(WithSpan(ctx, sp))
+	elapsed := time.Since(start)
+	sp.End(err)
+	c.reg.Counter(L("starts_conn_calls_total", "source", id, "op", op)).Inc()
+	if err != nil {
+		c.reg.Counter(L("starts_conn_errors_total", "source", id, "op", op)).Inc()
+	}
+	c.reg.Histogram(L("starts_conn_seconds", "source", id, "op", op)).Observe(elapsed)
+	return v, err
+}
+
+// SourceID implements client.Conn.
+func (c *Conn) SourceID() string { return c.inner.SourceID() }
+
+// Metadata implements client.Conn.
+func (c *Conn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
+	return observe(c, ctx, "metadata", c.inner.Metadata)
+}
+
+// Summary implements client.Conn.
+func (c *Conn) Summary(ctx context.Context) (*meta.ContentSummary, error) {
+	return observe(c, ctx, "summary", c.inner.Summary)
+}
+
+// Sample implements client.Conn.
+func (c *Conn) Sample(ctx context.Context) ([]*source.SampleEntry, error) {
+	return observe(c, ctx, "sample", c.inner.Sample)
+}
+
+// Query implements client.Conn.
+func (c *Conn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	res, err := observe(c, ctx, "query", func(ctx context.Context) (*result.Results, error) {
+		return c.inner.Query(ctx, q)
+	})
+	if err == nil && res != nil {
+		c.reg.Counter(L("starts_conn_docs_total", "source", c.inner.SourceID())).
+			Add(int64(len(res.Documents)))
+	}
+	return res, err
+}

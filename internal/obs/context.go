@@ -1,0 +1,52 @@
+package obs
+
+import "context"
+
+type traceKey struct{}
+type spanKey struct{}
+type metricsKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil (whose methods no-op).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// WithSpan marks s as the context's current span, so instrumentation
+// deeper in the call tree (retry wrappers, instrumented conns) can hang
+// children and annotations off the span its caller opened.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's current span, or nil (whose methods
+// no-op).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Annotate adds a key=value annotation to the context's current span, if
+// any.
+func Annotate(ctx context.Context, key, value string) {
+	SpanFrom(ctx).Annotate(key, value)
+}
+
+// WithMetrics attaches a registry to the context, so wrappers that have
+// no configuration channel of their own (the retry Conn deep inside a
+// fan-out) record into whatever registry the pipeline runs under.
+func WithMetrics(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, metricsKey{}, r)
+}
+
+// MetricsFrom returns the context's registry, or nil (whose methods
+// no-op).
+func MetricsFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey{}).(*Registry)
+	return r
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"starts/internal/obs"
 )
 
 // State is a circuit's position.
@@ -44,6 +46,14 @@ type BreakerConfig struct {
 	// HalfOpenSuccesses is the number of consecutive probe successes
 	// that closes a half-open circuit. Default 1.
 	HalfOpenSuccesses int
+	// OnTransition, when set, observes every circuit state change. It is
+	// called outside the breaker's lock, after the transition took
+	// effect, so it may call back into the breaker.
+	OnTransition func(id string, from, to State)
+	// Metrics, when set, counts every state change as
+	// starts_breaker_transitions_total{source,to}, so a flapping source
+	// is visible on /metrics without any logging.
+	Metrics *obs.Registry
 	// Now overrides the clock, for tests.
 	Now func() time.Time
 }
@@ -98,11 +108,31 @@ func (b *Breaker) circuitFor(id string) *circuit {
 	return c
 }
 
+// transition records a state change for observers; fired after the
+// breaker's lock is released (callbacks may re-enter the breaker).
+type transition struct {
+	id       string
+	from, to State
+}
+
+// observe notifies the configured observers of state changes.
+func (b *Breaker) observe(trans []transition) {
+	for _, t := range trans {
+		b.cfg.Metrics.Counter(obs.L("starts_breaker_transitions_total",
+			"source", t.id, "to", t.to.String())).Inc()
+		if b.cfg.OnTransition != nil {
+			b.cfg.OnTransition(t.id, t.from, t.to)
+		}
+	}
+}
+
 // Allow reports whether a call to the source may proceed. An open
 // circuit whose cooldown has elapsed transitions to half-open and admits
 // the caller as its probe; a half-open circuit admits one probe at a
 // time.
 func (b *Breaker) Allow(id string) bool {
+	var trans []transition
+	defer func() { b.observe(trans) }()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c := b.circuitFor(id)
@@ -116,6 +146,7 @@ func (b *Breaker) Allow(id string) bool {
 		c.state = StateHalfOpen
 		c.successes = 0
 		c.probing = true
+		trans = append(trans, transition{id, StateOpen, StateHalfOpen})
 		return true
 	default: // StateHalfOpen
 		if c.probing {
@@ -133,6 +164,8 @@ func (b *Breaker) Record(id string, err error) {
 	if err != nil && errors.Is(err, context.Canceled) {
 		return
 	}
+	var trans []transition
+	defer func() { b.observe(trans) }()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c := b.circuitFor(id)
@@ -145,6 +178,7 @@ func (b *Breaker) Record(id string, err error) {
 			c.successes++
 			if c.successes >= b.cfg.HalfOpenSuccesses {
 				*c = circuit{state: StateClosed}
+				trans = append(trans, transition{id, StateHalfOpen, StateClosed})
 			}
 		}
 		return
@@ -154,10 +188,12 @@ func (b *Breaker) Record(id string, err error) {
 		c.failures++
 		if c.failures >= b.cfg.FailureThreshold {
 			*c = circuit{state: StateOpen, openedAt: b.cfg.Now()}
+			trans = append(trans, transition{id, StateClosed, StateOpen})
 		}
 	case StateHalfOpen:
 		// The probe failed: back to open, restarting the cooldown.
 		*c = circuit{state: StateOpen, openedAt: b.cfg.Now()}
+		trans = append(trans, transition{id, StateHalfOpen, StateOpen})
 	}
 }
 

@@ -1,0 +1,113 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"starts/internal/obs"
+)
+
+// TestRetryInstrumentation checks that each retry is visible on the
+// context's span (a "retry" annotation) and registry
+// (starts_retries_total), and that a bare context stays a no-op.
+func TestRetryInstrumentation(t *testing.T) {
+	inner := &flakyConn{id: "S", err: errors.New("transient"), failN: 2}
+	c, _ := fastWrap(inner, RetryPolicy{MaxAttempts: 3}, nil)
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace("q")
+	sp := tr.StartSpan("query S")
+	ctx := obs.WithMetrics(obs.WithSpan(context.Background(), sp), reg)
+	if _, err := c.Query(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	sp.End(nil)
+
+	if got := reg.Counter(obs.L("starts_retries_total", "source", "S")).Value(); got != 2 {
+		t.Errorf("retries_total = %d, want 2", got)
+	}
+	retries := 0
+	for _, a := range tr.Snapshot().Spans[0].Attrs {
+		if a.Key == "retry" {
+			retries++
+			if !strings.Contains(a.Value, "transient") {
+				t.Errorf("retry annotation = %q", a.Value)
+			}
+		}
+	}
+	if retries != 2 {
+		t.Errorf("retry annotations = %d, want 2", retries)
+	}
+
+	// Outside a traced search nothing is recorded and nothing panics
+	// (the conn is past its failures, so this succeeds first try).
+	if _, err := c.Query(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBreakerTransitionObservers checks the OnTransition callback and
+// the transition counters across a full open → half-open → closed cycle.
+func TestBreakerTransitionObservers(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := &breakerClock{now: time.Date(1997, 5, 1, 0, 0, 0, 0, time.UTC)}
+	type hop struct{ from, to State }
+	var seen []hop
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 2, Cooldown: time.Minute, Now: clock.Now,
+		Metrics: reg,
+		OnTransition: func(id string, from, to State) {
+			if id != "S" {
+				t.Errorf("transition for %q", id)
+			}
+			seen = append(seen, hop{from, to})
+		},
+	})
+
+	b.Record("S", errDown)
+	b.Record("S", errDown) // trips: closed -> open
+	clock.advance(2 * time.Minute)
+	if !b.Allow("S") { // cooldown elapsed: open -> half-open, admits probe
+		t.Fatal("post-cooldown probe refused")
+	}
+	b.Record("S", nil) // probe succeeds: half-open -> closed
+
+	want := []hop{
+		{StateClosed, StateOpen},
+		{StateOpen, StateHalfOpen},
+		{StateHalfOpen, StateClosed},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+	for to, n := range map[string]int64{"open": 1, "half-open": 1, "closed": 1} {
+		if got := reg.Counter(obs.L("starts_breaker_transitions_total", "source", "S", "to", to)).Value(); got != n {
+			t.Errorf("transitions to %s = %d, want %d", to, got, n)
+		}
+	}
+}
+
+// TestBreakerObserverMayReenter pins the documented guarantee that
+// OnTransition runs outside the breaker's lock.
+func TestBreakerObserverMayReenter(t *testing.T) {
+	var b *Breaker
+	b = NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OnTransition: func(id string, from, to State) {
+			// Would deadlock if the callback fired under b.mu.
+			_ = b.State(id)
+		},
+	})
+	b.Record("S", errDown)
+	if b.State("S") != StateOpen {
+		t.Errorf("state = %v", b.State("S"))
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"starts/internal/client"
 	"starts/internal/meta"
+	"starts/internal/obs"
 	"starts/internal/query"
 	"starts/internal/result"
 	"starts/internal/source"
@@ -196,6 +197,10 @@ func (c *Conn) jitter() float64 {
 }
 
 // retryDo runs f up to MaxAttempts times, backing off between tries.
+// Each retry is observable: the context's current span (the per-source
+// span core opened, when the call runs inside a traced search) gets a
+// "retry" annotation and the context's metrics registry counts
+// starts_retries_total{source} — both no-ops on a bare context.
 func retryDo[T any](c *Conn, ctx context.Context, what string, f func(context.Context) (T, error)) (T, error) {
 	var zero T
 	if c.budget != nil {
@@ -212,6 +217,8 @@ func retryDo[T any](c *Conn, ctx context.Context, what string, f func(context.Co
 				return zero, fmt.Errorf("resilient: %s of %s interrupted during backoff: %w (last error: %w)",
 					what, c.inner.SourceID(), err, last)
 			}
+			obs.MetricsFrom(ctx).Counter(obs.L("starts_retries_total", "source", c.inner.SourceID())).Inc()
+			obs.Annotate(ctx, "retry", fmt.Sprintf("%s attempt %d after: %v", what, attempt+1, last))
 		}
 		v, err := f(ctx)
 		if err == nil {

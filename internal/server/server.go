@@ -11,6 +11,11 @@
 //
 // All communication is sessionless and the sources are stateless, per
 // Section 4.
+//
+// The server is observable by default: every route is counted and timed
+// into an obs.Registry served at GET /metrics, and each query request
+// records a decode/search/encode trace into a ring served at
+// GET /debug/last-traces.
 package server
 
 import (
@@ -18,8 +23,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
+	"starts/internal/obs"
 	"starts/internal/query"
 	"starts/internal/result"
 	"starts/internal/soif"
@@ -39,25 +47,86 @@ const maxQueryBytes = 1 << 20
 
 // Server serves one resource.
 type Server struct {
-	res *source.Resource
-	mux *http.ServeMux
+	res     *source.Resource
+	mux     *http.ServeMux
+	metrics *obs.Registry
+	traces  *obs.TraceRing
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMetrics records into an externally owned registry instead of a
+// private one — share it to merge several components onto one /metrics.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithTraceCapacity sizes the /debug/last-traces ring (default 32).
+func WithTraceCapacity(n int) Option {
+	return func(s *Server) { s.traces = obs.NewTraceRing(n) }
 }
 
 // New returns a server for the resource. baseURL (scheme://host[:port],
 // no trailing slash) is stamped into each source's exported metadata so
 // that harvested metadata points back at this server.
-func New(res *source.Resource, baseURL string) *Server {
+func New(res *source.Resource, baseURL string, opts ...Option) *Server {
 	for _, id := range res.SourceIDs() {
 		s, _ := res.Source(id)
 		s.SetBaseURL(baseURL + "/sources/" + id)
 	}
 	srv := &Server{res: res, mux: http.NewServeMux()}
-	srv.mux.HandleFunc("GET /resource", srv.handleResource)
-	srv.mux.HandleFunc("GET /sources/{id}/metadata", srv.handleMetadata)
-	srv.mux.HandleFunc("GET /sources/{id}/summary", srv.handleSummary)
-	srv.mux.HandleFunc("GET /sources/{id}/sample", srv.handleSample)
-	srv.mux.HandleFunc("POST /sources/{id}/query", srv.handleQuery)
+	for _, o := range opts {
+		o(srv)
+	}
+	if srv.metrics == nil {
+		srv.metrics = obs.NewRegistry()
+	}
+	if srv.traces == nil {
+		srv.traces = obs.NewTraceRing(32)
+	}
+	srv.route("GET /resource", "resource", srv.handleResource)
+	srv.route("GET /sources/{id}/metadata", "metadata", srv.handleMetadata)
+	srv.route("GET /sources/{id}/summary", "summary", srv.handleSummary)
+	srv.route("GET /sources/{id}/sample", "sample", srv.handleSample)
+	srv.route("POST /sources/{id}/query", "query", srv.handleQuery)
+	srv.mux.Handle("GET /metrics", srv.metrics.Handler())
+	srv.mux.Handle("GET /debug/last-traces", srv.traces.Handler())
 	return srv
+}
+
+// Metrics returns the registry the server records into.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Traces returns the ring behind /debug/last-traces.
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
+
+// route registers an instrumented handler: per-route request and error
+// counters plus a latency histogram.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.Counter(obs.L("starts_server_requests_total", "route", name)).Inc()
+		if sw.status >= 400 {
+			s.metrics.Counter(obs.L("starts_server_errors_total", "route", name,
+				"code", strconv.Itoa(sw.status))).Inc()
+		}
+		s.metrics.Histogram(obs.L("starts_server_seconds", "route", name)).
+			Observe(time.Since(start))
+	})
+}
+
+// statusWriter captures the status code for the route instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // ServeHTTP implements http.Handler.
@@ -158,12 +227,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Each query request records a trace (decode → search → encode) into
+	// the /debug/last-traces ring.
+	tr := obs.NewTrace("query " + src.ID())
+	defer func() {
+		tr.Finish()
+		s.traces.Add(tr)
+	}()
+	dsp := tr.StartSpan("decode")
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
 	if err != nil {
+		dsp.End(err)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if len(body) > maxQueryBytes {
+		dsp.End(fmt.Errorf("query too large"))
 		http.Error(w, "query too large", http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -175,25 +254,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		obj, err = soif.Unmarshal(body)
 	}
 	if err != nil {
+		dsp.End(err)
 		http.Error(w, "malformed query object: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	q, err := query.FromSOIF(obj)
 	if err != nil {
+		dsp.End(err)
 		http.Error(w, "malformed query: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	dsp.End(nil)
 	// Additional same-resource sources route through the resource, which
 	// eliminates duplicates; a plain query goes straight to the source.
+	qsp := tr.StartSpan("search")
+	qsp.SetSource(src.ID())
 	var rr *result.Results
 	if len(q.Sources) > 0 {
 		rr, err = s.res.Search(src.ID(), q)
 	} else {
 		rr, err = src.Search(q)
 	}
+	qsp.End(err)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	qsp.Annotate("docs", strconv.Itoa(len(rr.Documents)))
+	s.metrics.Counter(obs.L("starts_server_query_docs_total", "source", src.ID())).
+		Add(int64(len(rr.Documents)))
+	esp := tr.StartSpan("encode")
 	writeObjects(w, r, rr.ToSOIF())
+	esp.End(nil)
 }

@@ -23,6 +23,7 @@ package starts
 
 import (
 	"net/http"
+	"time"
 
 	"starts/internal/client"
 	"starts/internal/core"
@@ -32,6 +33,7 @@ import (
 	"starts/internal/index"
 	"starts/internal/merge"
 	"starts/internal/meta"
+	"starts/internal/obs"
 	"starts/internal/query"
 	"starts/internal/resilient"
 	"starts/internal/result"
@@ -119,9 +121,22 @@ type (
 	Conn = client.Conn
 )
 
+// ServerOption configures a Server.
+type ServerOption = server.Option
+
+// WithServerMetrics records a server's route metrics into an externally
+// owned registry, merging several components onto one /metrics.
+func WithServerMetrics(reg *obs.Registry) ServerOption { return server.WithMetrics(reg) }
+
+// WithServerTraceCapacity sizes the server's /debug/last-traces ring.
+func WithServerTraceCapacity(n int) ServerOption { return server.WithTraceCapacity(n) }
+
 // NewServer returns an http.Handler serving the resource; baseURL is
-// stamped into exported metadata.
-func NewServer(res *Resource, baseURL string) *Server { return server.New(res, baseURL) }
+// stamped into exported metadata. The server exposes its own GET /metrics
+// and GET /debug/last-traces endpoints.
+func NewServer(res *Resource, baseURL string, opts ...ServerOption) *Server {
+	return server.New(res, baseURL, opts...)
+}
 
 // NewClient returns an HTTP STARTS client; nil uses a default HTTP client.
 func NewClient(hc *http.Client) *Client { return client.NewClient(hc) }
@@ -161,6 +176,92 @@ type (
 // selection and TermStats merging.
 func NewMetasearcher(opts MetasearcherOptions) *Metasearcher { return core.New(opts) }
 
+// Per-query search options. These override one Search call's
+// configuration without touching the metasearcher's shared Options, so
+// concurrent callers can each pick their own budget, merger or source
+// cap:
+//
+//	ans, _ := ms.Search(ctx, q,
+//		starts.WithBudget(2*time.Second),
+//		starts.WithMerger(starts.MergeScaled),
+//		starts.WithMaxSources(3))
+type (
+	// SearchOption overrides one search's configuration.
+	SearchOption = core.SearchOption
+	// SourceStatEntry is one source's row in a Metasearcher stats
+	// snapshot.
+	SourceStatEntry = core.SourceStatEntry
+)
+
+// WithSelector ranks sources with s for this search only.
+func WithSelector(s Selector) SearchOption { return core.WithSelector(s) }
+
+// WithMerger fuses this search's per-source ranks with s.
+func WithMerger(s MergeStrategy) SearchOption { return core.WithMerger(s) }
+
+// WithMaxSources bounds how many sources this search contacts (0 = all
+// promising ones).
+func WithMaxSources(n int) SearchOption { return core.WithMaxSources(n) }
+
+// WithBudget bounds this whole search — harvesting plus fan-out — by d.
+func WithBudget(d time.Duration) SearchOption { return core.WithBudget(d) }
+
+// WithTimeout sets this search's per-source deadline.
+func WithTimeout(d time.Duration) SearchOption { return core.WithTimeout(d) }
+
+// WithPostFilter toggles verification mode for this search.
+func WithPostFilter(on bool) SearchOption { return core.WithPostFilter(on) }
+
+// WithTrace records this search's span tree into t (its zero value is
+// fine; Search re-begins it):
+//
+//	var tr starts.Trace
+//	ans, _ := ms.Search(ctx, q, starts.WithTrace(&tr))
+//	fmt.Print(tr.Snapshot().Tree())
+func WithTrace(t *Trace) SearchOption { return core.WithTrace(t) }
+
+// Observability.
+type (
+	// Trace is one operation's tree of timed spans; its zero value is
+	// ready to use with WithTrace.
+	Trace = obs.Trace
+	// Span is one timed step inside a Trace.
+	Span = obs.Span
+	// TraceInfo is an immutable snapshot of a finished (or in-flight)
+	// Trace; its Tree method renders the span tree.
+	TraceInfo = obs.TraceInfo
+	// SpanInfo is one span in a TraceInfo.
+	SpanInfo = obs.SpanInfo
+	// MetricsRegistry holds named counters, gauges and latency
+	// histograms; Render emits them in Prometheus text format.
+	MetricsRegistry = obs.Registry
+	// TraceRing keeps the last N traces for debugging endpoints.
+	TraceRing = obs.TraceRing
+)
+
+// NewMetricsRegistry returns an empty metrics registry, shareable across
+// a metasearcher (MetasearcherOptions.Metrics), servers and instrumented
+// conns.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceRing returns a ring buffer holding the last n traces.
+func NewTraceRing(n int) *TraceRing { return obs.NewTraceRing(n) }
+
+// MetricLabel encodes labels into a metric name: MetricLabel("m", "k",
+// "v") is `m{k="v"}`.
+func MetricLabel(name string, kv ...string) string { return obs.L(name, kv...) }
+
+// WrapConn instruments a Conn: every call is timed into a child span of
+// the context's current span and counted into reg.
+func WrapConn(c Conn, reg *MetricsRegistry) Conn { return obs.WrapConn(c, reg) }
+
+// The client.Conn and obs.SourceConn interfaces are structurally
+// identical; these assertions pin that equivalence.
+var (
+	_ obs.SourceConn = Conn(nil)
+	_ Conn           = obs.SourceConn(nil)
+)
+
 // Resilience.
 type (
 	// RetryPolicy configures exponential backoff with jitter for a
@@ -199,6 +300,36 @@ func NewFaultyConn(c Conn, cfg FaultConfig) *FaultyConn { return faulty.WrapConn
 // injection.
 func NewFaultMiddleware(cfg FaultConfig, h http.Handler) http.Handler {
 	return faulty.Middleware(cfg, h)
+}
+
+// ConnMiddleware decorates a Conn with one cross-cutting concern —
+// retries, fault injection, instrumentation.
+type ConnMiddleware = client.Middleware
+
+// ChainConn wraps conn with the given middlewares; the first ends up
+// innermost (closest to the source), the last outermost:
+//
+//	conn = starts.ChainConn(conn,
+//		starts.FaultyMiddleware(faults), // injected at the source
+//		starts.ObserveMiddleware(reg),   // times every attempt
+//		starts.RetryMiddleware(policy, budget)) // retries observed faults
+//
+// Nil middlewares are skipped.
+func ChainConn(conn Conn, mw ...ConnMiddleware) Conn { return client.Chain(conn, mw...) }
+
+// RetryMiddleware is NewRetryConn as a ConnMiddleware.
+func RetryMiddleware(p RetryPolicy, budget *RetryBudget) ConnMiddleware {
+	return func(c Conn) Conn { return resilient.Wrap(c, p, budget) }
+}
+
+// FaultyMiddleware is NewFaultyConn as a ConnMiddleware.
+func FaultyMiddleware(cfg FaultConfig) ConnMiddleware {
+	return func(c Conn) Conn { return faulty.WrapConn(c, cfg) }
+}
+
+// ObserveMiddleware is WrapConn as a ConnMiddleware.
+func ObserveMiddleware(reg *MetricsRegistry) ConnMiddleware {
+	return func(c Conn) Conn { return obs.WrapConn(c, reg) }
 }
 
 // Selectors.
