@@ -17,8 +17,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark once with allocation stats; for stable
+# numbers (e.g. the SearchCached vs SearchCold comparison in
+# EXPERIMENTS.md) drop -benchtime 1x.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' ./...
 
 # tier1 is the repo's baseline gate: everything must always pass.
 tier1: build test

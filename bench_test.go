@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"starts"
 	"starts/internal/corpus"
@@ -211,6 +212,62 @@ func BenchmarkMetasearchLocal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ms.Search(ctx, q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchCold is the hot-query experiment's baseline: every
+// Search runs the full pipeline (selection, translation, fan-out,
+// merging), no cache configured. Compare with BenchmarkSearchCached.
+func BenchmarkSearchCold(b *testing.B) {
+	srcs := benchFleet(b, 5, 200, engine.TFIDF{}, engine.TopK{})
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{MaxSources: 3})
+	for _, s := range srcs {
+		ms.Add(starts.NewLocalConn(s, nil))
+	}
+	ctx := context.Background()
+	if err := ms.Harvest(ctx); err != nil {
+		b.Fatal(err)
+	}
+	q := benchQuery(b, `list((body-of-text "database") (body-of-text "patient"))`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ms.Search(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchCached is the same workload with the query cache in
+// front: after one warming miss every iteration is a fingerprint
+// computation plus a fresh hit, the repeated-query fast path.
+func BenchmarkSearchCached(b *testing.B) {
+	srcs := benchFleet(b, 5, 200, engine.TFIDF{}, engine.TopK{})
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+		MaxSources: 3,
+		Cache:      starts.NewQueryCache(starts.QueryCacheConfig{TTL: time.Hour}),
+	})
+	for _, s := range srcs {
+		ms.Add(starts.NewLocalConn(s, nil))
+	}
+	ctx := context.Background()
+	if err := ms.Harvest(ctx); err != nil {
+		b.Fatal(err)
+	}
+	q := benchQuery(b, `list((body-of-text "database") (body-of-text "patient"))`)
+	if _, err := ms.Search(ctx, q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := ms.Search(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ans.Documents) == 0 {
+			b.Fatal("empty cached answer")
 		}
 	}
 }

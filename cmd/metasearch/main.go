@@ -50,6 +50,9 @@ func main() {
 		breakerAfter    = flag.Int("breaker-after", 0, "open a source's circuit after N consecutive failures (0 = no breaker)")
 		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit sheds traffic before probing")
 		adaptive        = flag.Bool("adaptive", false, "discount selection goodness by observed latency, failures and breaker state")
+		cacheSize       = flag.Int("cache-size", 0, "cache merged answers for repeated queries, at most N entries (0 = no cache)")
+		cacheTTL        = flag.Duration("cache-ttl", time.Minute, "how long a cached answer serves fresh (expired entries serve stale while a refresh runs)")
+		maxInflight     = flag.Int("max-inflight", 0, "bound concurrent uncached fan-outs; excess queries are shed with a fast error (0 = unbounded; implies caching)")
 		faultRate       = flag.Float64("fault-rate", 0, "inject client-side faults: per-call error probability (testing)")
 		faultLatency    = flag.Duration("fault-latency", 0, "inject client-side faults: added per-call latency (testing)")
 		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection seed")
@@ -83,6 +86,12 @@ func main() {
 		Selector: sel, Merger: mrg, MaxSources: *maxSources,
 		Timeout: *timeout, PostFilter: *verify, Budget: *budget,
 		Metrics: reg,
+	}
+	if *cacheSize > 0 || *maxInflight > 0 {
+		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{
+			MaxEntries: *cacheSize, TTL: *cacheTTL,
+			MaxInflight: *maxInflight, Metrics: reg,
+		})
 	}
 	var br *starts.Breaker
 	if *breakerAfter > 0 {

@@ -40,6 +40,9 @@ func main() {
 		retries         = flag.Int("retries", 0, "retry each source call up to N extra times with exponential backoff")
 		breakerAfter    = flag.Int("breaker-after", 0, "open a source's circuit after N consecutive failures (0 = no breaker)")
 		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit sheds traffic before probing")
+		cacheSize       = flag.Int("cache-size", 0, "cache merged answers for repeated queries, at most N entries (0 = no cache)")
+		cacheTTL        = flag.Duration("cache-ttl", time.Minute, "how long a cached answer serves fresh (expired entries serve stale while a refresh runs)")
+		maxInflight     = flag.Int("max-inflight", 0, "bound concurrent uncached fan-outs; excess queries are shed with a fast error (0 = unbounded; implies caching)")
 		trace           = flag.Bool("trace", false, "print each q/f search's span tree")
 	)
 	flag.Parse()
@@ -51,6 +54,12 @@ func main() {
 	hc := starts.NewClient(nil)
 	reg := starts.NewMetricsRegistry()
 	opts := starts.MetasearcherOptions{Timeout: 15 * time.Second, Budget: *budget, Metrics: reg}
+	if *cacheSize > 0 || *maxInflight > 0 {
+		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{
+			MaxEntries: *cacheSize, TTL: *cacheTTL,
+			MaxInflight: *maxInflight, Metrics: reg,
+		})
+	}
 	var br *starts.Breaker
 	if *breakerAfter > 0 {
 		br = starts.NewBreaker(starts.BreakerConfig{

@@ -1,0 +1,145 @@
+// Chain-composition tests live in an external test package: they compose
+// the caching, retrying and observing middlewares, and resilient imports
+// client (an internal test file would cycle).
+package client_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"starts/internal/client"
+	"starts/internal/meta"
+	"starts/internal/obs"
+	"starts/internal/qcache"
+	"starts/internal/query"
+	"starts/internal/resilient"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// flakyConn fails its first Query with a retryable error, then succeeds,
+// counting every attempt that reaches it.
+type flakyConn struct {
+	attempts atomic.Int64
+}
+
+func (c *flakyConn) SourceID() string { return "S" }
+func (c *flakyConn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
+	return &meta.SourceMeta{SourceID: "S"}, nil
+}
+func (c *flakyConn) Summary(ctx context.Context) (*meta.ContentSummary, error) {
+	return &meta.ContentSummary{}, nil
+}
+func (c *flakyConn) Sample(ctx context.Context) ([]*source.SampleEntry, error) {
+	return nil, nil
+}
+func (c *flakyConn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	if c.attempts.Add(1) == 1 {
+		return nil, errors.New("transient network failure")
+	}
+	return &result.Results{}, nil
+}
+
+// countingMW counts Query calls passing through its position in a chain.
+func countingMW(n *atomic.Int64) client.Middleware {
+	return func(c client.Conn) client.Conn { return &countingConn{Conn: c, n: n} }
+}
+
+type countingConn struct {
+	client.Conn
+	n *atomic.Int64
+}
+
+func (c *countingConn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	c.n.Add(1)
+	return c.Conn.Query(ctx, q)
+}
+
+// TestChainOrderWithCache pins the composition contract for the caching
+// middleware: the cache belongs OUTSIDE the retrier — a retry re-runs
+// the source, never re-enters the cache — and INSIDE the observer, so
+// cache hits still count into conn metrics. Each chain issues the same
+// query twice against a conn whose first attempt fails retryably; the
+// layer counters expose where each call was answered.
+func TestChainOrderWithCache(t *testing.T) {
+	policy := resilient.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1}
+
+	type counts struct {
+		attempts     int64 // queries reaching the source
+		cacheEntries int64 // queries entering the cache layer
+		observed     int64 // queries the observer saw
+	}
+	cases := []struct {
+		name string
+		// order lists middlewares innermost-first, client.Chain-style,
+		// with a counter planted just outside the cache layer.
+		order func(cacheMW, countMW, retryMW, observeMW client.Middleware) []client.Middleware
+		want  counts
+	}{
+		{
+			// observe(count(cache(retry(conn)))): the recommended order.
+			// Call 1 misses and retries inside one cache entry; call 2 is
+			// a hit and still reaches the observer.
+			name: "cache-outside-retry-inside-observe",
+			order: func(cacheMW, countMW, retryMW, observeMW client.Middleware) []client.Middleware {
+				return []client.Middleware{retryMW, cacheMW, countMW, observeMW}
+			},
+			want: counts{attempts: 2, cacheEntries: 2, observed: 2},
+		},
+		{
+			// observe(retry(count(cache(conn)))): cache wrongly inside the
+			// retrier — the failed first attempt re-enters the cache on
+			// retry (3 entries for 2 calls).
+			name: "cache-inside-retry",
+			order: func(cacheMW, countMW, retryMW, observeMW client.Middleware) []client.Middleware {
+				return []client.Middleware{cacheMW, countMW, retryMW, observeMW}
+			},
+			want: counts{attempts: 2, cacheEntries: 3, observed: 2},
+		},
+		{
+			// count(cache(observe(retry(conn)))): observer wrongly inside
+			// the cache — the hit on call 2 never reaches it, so metrics
+			// undercount served queries.
+			name: "observe-inside-cache",
+			order: func(cacheMW, countMW, retryMW, observeMW client.Middleware) []client.Middleware {
+				return []client.Middleware{retryMW, observeMW, cacheMW, countMW}
+			},
+			want: counts{attempts: 2, cacheEntries: 2, observed: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := &flakyConn{}
+			reg := obs.NewRegistry()
+			cache := qcache.New(qcache.Config{Metrics: reg})
+			var cacheEntries atomic.Int64
+			cacheMW := func(c client.Conn) client.Conn { return qcache.WrapConn(c, cache) }
+			retryMW := func(c client.Conn) client.Conn { return resilient.Wrap(c, policy, nil) }
+			observeMW := func(c client.Conn) client.Conn { return obs.WrapConn(c, reg) }
+
+			conn := client.Chain(src, tc.order(cacheMW, countingMW(&cacheEntries), retryMW, observeMW)...)
+			q := query.New()
+			r, err := query.ParseRanking(`list((any "databases"))`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.Ranking = r
+			for i := 0; i < 2; i++ {
+				if _, err := conn.Query(context.Background(), q); err != nil {
+					t.Fatalf("query %d: %v", i+1, err)
+				}
+			}
+			got := counts{
+				attempts:     src.attempts.Load(),
+				cacheEntries: cacheEntries.Load(),
+				observed:     reg.Counter(obs.L("starts_conn_calls_total", "source", "S", "op", "query")).Value(),
+			}
+			if got != tc.want {
+				t.Errorf("counts = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}

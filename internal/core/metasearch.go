@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"starts/internal/merge"
 	"starts/internal/meta"
 	"starts/internal/obs"
+	"starts/internal/qcache"
 	"starts/internal/query"
 	"starts/internal/result"
 	"starts/internal/translate"
@@ -55,6 +57,15 @@ type Options struct {
 	// always on (retrieve it with Metasearcher.Metrics). Share one
 	// registry across components to get a single /metrics view.
 	Metrics *obs.Registry
+	// Cache, when set, serves repeated identical queries from a shared
+	// query-result cache: concurrent identical queries coalesce into one
+	// fan-out, expired entries are served stale while a background
+	// refresh runs (reported via Answer.Degraded.StaleAnswer), and under
+	// overload the cache's admission gate sheds queries with a typed
+	// qcache.ErrShed instead of queueing without bound. qcache.New
+	// provides one; WithNoCache bypasses it per query. Cached answers
+	// are shared between callers — treat them as read-only.
+	Cache *qcache.Cache
 	// Now overrides the clock, for cache-expiry tests.
 	Now func() time.Time
 }
@@ -319,11 +330,17 @@ type Degradation struct {
 	// HarvestFailed lists sources with no usable harvest, not even a
 	// stale one.
 	HarvestFailed []string
+	// StaleAnswer marks a whole answer served from the query-result
+	// cache past its TTL while a background refresh runs
+	// (stale-while-revalidate): every document may be out of date, but
+	// the user got an instant answer instead of waiting out a fan-out.
+	StaleAnswer bool
 }
 
 // Any reports whether the answer degraded at all.
 func (d Degradation) Any() bool {
-	return len(d.Skipped)+len(d.Stale)+len(d.Failed)+len(d.HarvestFailed) > 0
+	return d.StaleAnswer ||
+		len(d.Skipped)+len(d.Stale)+len(d.Failed)+len(d.HarvestFailed) > 0
 }
 
 // String summarizes the degradation for logs and shells.
@@ -331,8 +348,12 @@ func (d Degradation) String() string {
 	if !d.Any() {
 		return "none"
 	}
-	return fmt.Sprintf("skipped=%v stale=%v failed=%v harvest-failed=%v",
+	s := fmt.Sprintf("skipped=%v stale=%v failed=%v harvest-failed=%v",
 		d.Skipped, d.Stale, d.Failed, d.HarvestFailed)
+	if d.StaleAnswer {
+		s += " stale-answer=true"
+	}
+	return s
 }
 
 // Answer is a merged metasearch result.
@@ -364,8 +385,18 @@ type Answer struct {
 // Per-query SearchOptions override the constructor baseline for this call
 // only; the shared Options are never mutated. Every search records a
 // Trace (five timed stages: harvest, select, translate, per-source
-// fan-out, merge) into Answer.Trace — or into a caller-owned trace via
-// WithTrace — and counts into the metasearcher's metrics registry.
+// fan-out, merge — plus a "cache" stage when a query cache is configured)
+// into Answer.Trace — or into a caller-owned trace via WithTrace — and
+// counts into the metasearcher's metrics registry.
+//
+// With Options.Cache set (and not bypassed by WithNoCache), repeated
+// identical queries are answered from cache: fresh hits skip the fan-out
+// entirely, concurrent identical queries coalesce into one fan-out, and
+// expired entries are served stale (Answer.Degraded.StaleAnswer) while a
+// background refresh runs. Under overload the cache's admission gate
+// rejects queries with an error satisfying errors.Is(err, qcache.ErrShed)
+// within its queue timeout. Cached answers are shared — treat them as
+// read-only.
 func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...SearchOption) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -393,6 +424,81 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...Sear
 		m.metrics.Histogram("starts_search_seconds").Observe(time.Since(searchStart))
 	}()
 
+	cache := opts.Cache
+	if cfg.noCache {
+		cache = nil
+	}
+	if cache == nil {
+		return m.run(ctx, q, opts)
+	}
+	return m.searchCached(ctx, tr, q, opts, cache)
+}
+
+// searchCached is the cache-fronted Search path: it fingerprints the
+// query, asks the cache, and only on a miss runs the full pipeline (as
+// the coalescing flight's leader). The "cache" span annotates how the
+// call was served.
+func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query.Query, opts Options, cache *qcache.Cache) (*Answer, error) {
+	csp := tr.StartSpan("cache")
+	key := m.cacheKey(q, opts)
+	csp.Annotate("key", key)
+	fill := func(fctx context.Context) (any, error) {
+		if obs.TraceFrom(fctx) == nil {
+			// Background stale-while-revalidate refresh: the triggering
+			// request's trace is long finished, so the refresh runs
+			// under its own private trace and the shared registry.
+			ftr := obs.NewTrace("refresh " + describeQuery(q))
+			defer ftr.Finish()
+			fctx = obs.WithTrace(obs.WithMetrics(fctx, m.metrics), ftr)
+		}
+		return m.run(fctx, q, opts)
+	}
+	v, outcome, err := cache.Do(ctx, key, fill)
+	csp.Annotate("outcome", outcome.String())
+	csp.End(err)
+	if err != nil {
+		return nil, err
+	}
+	ans := v.(*Answer)
+	if outcome == qcache.Filled {
+		// This call ran the pipeline itself; the answer already carries
+		// this search's trace.
+		return ans, nil
+	}
+	return ans.cachedCopy(tr, outcome == qcache.Stale), nil
+}
+
+// cacheKey fingerprints a query together with everything outside it that
+// shapes the answer: the selection and merge strategies, the source cap,
+// verification mode, and the registered source set. Re-registering
+// sources therefore implicitly invalidates all merged-answer entries.
+func (m *Metasearcher) cacheKey(q *query.Query, opts Options) string {
+	m.mu.RLock()
+	ids := append([]string(nil), m.order...)
+	m.mu.RUnlock()
+	sort.Strings(ids)
+	scope := fmt.Sprintf("search/%s/%s/%d/%t/%s",
+		opts.Selector.Name(), opts.Merger.Name(), opts.MaxSources, opts.PostFilter,
+		strings.Join(ids, ","))
+	return qcache.Keyer{Scope: scope}.Key(q)
+}
+
+// cachedCopy prepares one cached answer for one serve: a shallow copy
+// whose documents and per-source outcomes are shared (read-only by
+// convention) but whose Trace is the serving call's own and whose
+// Degradation marks a stale serve.
+func (a *Answer) cachedCopy(tr *obs.Trace, stale bool) *Answer {
+	cp := *a
+	cp.Trace = tr
+	cp.Degraded.StaleAnswer = stale
+	return &cp
+}
+
+// run executes the full metasearch pipeline — harvest, select, translate,
+// fan-out, merge — under the trace and registry already on ctx. It is the
+// uncached Search body and the query cache's fill function.
+func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options) (*Answer, error) {
+	tr := obs.TraceFrom(ctx)
 	// The budget bounds the whole call — harvesting included — while
 	// Timeout below bounds each individual source.
 	if opts.Budget > 0 {

@@ -6,13 +6,15 @@ import (
 	"starts/internal/gloss"
 	"starts/internal/merge"
 	"starts/internal/obs"
+	"starts/internal/qcache"
 )
 
 // searchConfig is one Search call's effective configuration: the
 // metasearcher's baseline Options overlaid with per-query SearchOptions.
 type searchConfig struct {
 	Options
-	trace *obs.Trace
+	trace   *obs.Trace
+	noCache bool
 }
 
 // SearchOption overrides one search's configuration without touching the
@@ -66,6 +68,19 @@ func WithTimeout(d time.Duration) SearchOption {
 // WithPostFilter toggles verification mode for this search.
 func WithPostFilter(on bool) SearchOption {
 	return func(c *searchConfig) { c.PostFilter = on }
+}
+
+// WithCache serves this search through c, overriding (or supplying) the
+// metasearcher's Options.Cache for this call only.
+func WithCache(c *qcache.Cache) SearchOption {
+	return func(cfg *searchConfig) { cfg.Cache = c }
+}
+
+// WithNoCache bypasses the query-result cache for this search: the full
+// pipeline always runs and its answer is not stored. Use it for queries
+// whose answers must reflect the sources right now.
+func WithNoCache() SearchOption {
+	return func(cfg *searchConfig) { cfg.noCache = true }
 }
 
 // WithTrace records this search's span tree into t (its zero value is

@@ -1,0 +1,46 @@
+package obs
+
+// Canonical metric names of the query-result cache (internal/qcache).
+// Every starts_* metric family is named where it is emitted; the qcache
+// family lives here because three layers emit into it — core's cached
+// Search path, the caching Conn middleware, and the server's admission
+// gate — and they must agree on names so a shared Registry renders one
+// coherent /metrics view.
+//
+// The wider naming convention, for reference (all names are
+// Prometheus-flavored, labels encoded with L):
+//
+//	starts_searches_total, starts_search_seconds        core.Search
+//	starts_source_queries_total{source}, ...            core fan-out
+//	starts_harvest_cache_{hits,misses}_total            core harvest cache
+//	starts_conn_{calls,errors}_total{source,op}, ...    obs.WrapConn
+//	starts_retries_total, starts_breaker_transitions_…  resilient
+//	starts_server_{requests,errors}_total{route}, ...   server routes
+//	starts_qcache_*                                     this file
+const (
+	// MQCacheHits counts fresh cache hits (served without any fan-out).
+	MQCacheHits = "starts_qcache_hits_total"
+	// MQCacheMisses counts misses that ran the fill as flight leader.
+	MQCacheMisses = "starts_qcache_misses_total"
+	// MQCacheStale counts expired entries served stale while a
+	// background refresh ran (stale-while-revalidate).
+	MQCacheStale = "starts_qcache_stale_total"
+	// MQCacheCoalesced counts callers that joined an in-flight fill for
+	// the same key instead of fanning out themselves.
+	MQCacheCoalesced = "starts_qcache_coalesced_total"
+	// MQCacheShed counts admissions rejected by the load-shedding gate
+	// after waiting out the queue timeout.
+	MQCacheShed = "starts_qcache_shed_total"
+	// MQCacheEvictions counts LRU evictions.
+	MQCacheEvictions = "starts_qcache_evictions_total"
+	// MQCacheRefreshErrors counts failed stale-while-revalidate
+	// refreshes (the stale entry stays in service).
+	MQCacheRefreshErrors = "starts_qcache_refresh_errors_total"
+	// MQCacheEntries gauges the live entry count across all shards.
+	MQCacheEntries = "starts_qcache_entries"
+	// MQCacheInflight gauges admissions currently holding a gate slot.
+	MQCacheInflight = "starts_qcache_inflight"
+	// MQCacheHitSeconds is the hit-path latency histogram: time to serve
+	// an answer from cache (fresh or stale), fan-out excluded.
+	MQCacheHitSeconds = "starts_qcache_hit_seconds"
+)

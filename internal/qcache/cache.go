@@ -1,0 +1,341 @@
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"starts/internal/obs"
+)
+
+// Config configures a Cache. The zero value is usable: 4096 entries over
+// 16 shards, one-minute TTL, a stale window of four TTLs, no admission
+// bound, and a private metrics registry.
+type Config struct {
+	// MaxEntries bounds the cache size across all shards (default 4096).
+	MaxEntries int
+	// Shards is the shard count, rounded up to a power of two
+	// (default 16). More shards, less mutex contention.
+	Shards int
+	// TTL is how long an entry serves fresh (default one minute).
+	TTL time.Duration
+	// StaleFor is how long past its TTL an entry may still be served
+	// stale while a background refresh runs (stale-while-revalidate).
+	// Zero defaults to four TTLs; negative disables stale serving.
+	StaleFor time.Duration
+	// MaxInflight bounds concurrent fills (cache misses running the
+	// expensive fan-out). Zero leaves fills unbounded.
+	MaxInflight int
+	// QueueTimeout is how long an admission waits for a fill slot before
+	// being shed with ErrShed (default DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// Metrics receives the cache's counters, gauge and hit-path
+	// histogram; nil allocates a private registry. Share one registry
+	// across components for a single /metrics view.
+	Metrics *obs.Registry
+	// Now overrides the clock, for expiry tests.
+	Now func() time.Time
+}
+
+// Outcome classifies how one Do call was served.
+type Outcome int
+
+const (
+	// Filled: this call missed and ran the fill as flight leader.
+	Filled Outcome = iota
+	// Hit: served a fresh entry.
+	Hit
+	// Stale: served an expired entry while a background refresh ran.
+	Stale
+	// Coalesced: joined another caller's in-flight fill for the key.
+	Coalesced
+)
+
+// String implements fmt.Stringer for trace annotations.
+func (o Outcome) String() string {
+	switch o {
+	case Filled:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Stale:
+		return "stale"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Cache is a sharded LRU+TTL query-result cache with singleflight
+// coalescing, stale-while-revalidate and load shedding. All methods are
+// safe for concurrent use. Cached values are shared across callers and
+// must be treated as read-only.
+type Cache struct {
+	shards   []*shard
+	mask     uint32
+	perShard int
+	ttl      time.Duration
+	staleFor time.Duration
+	gate     *Gate
+	flight   *flightGroup
+	now      func() time.Time
+
+	metrics    *obs.Registry
+	hits       *obs.Counter
+	misses     *obs.Counter
+	stales     *obs.Counter
+	coalesced  *obs.Counter
+	evictions  *obs.Counter
+	refreshErr *obs.Counter
+	entries    *obs.Gauge
+	hitSeconds *obs.Histogram
+}
+
+// shard is one lock domain: a map into an LRU list (front = most
+// recently used).
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	ll    *list.List
+}
+
+// entry is one cached value with its freshness bounds.
+type entry struct {
+	key        string
+	val        any
+	expires    time.Time // fresh until here
+	staleUntil time.Time // servable-stale until here
+}
+
+// New returns a cache for the config (zero Config takes the defaults).
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	nshards := 1
+	for nshards < cfg.Shards {
+		nshards <<= 1
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = time.Minute
+	}
+	switch {
+	case cfg.StaleFor == 0:
+		cfg.StaleFor = 4 * cfg.TTL
+	case cfg.StaleFor < 0:
+		cfg.StaleFor = 0
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	perShard := (cfg.MaxEntries + nshards - 1) / nshards
+	c := &Cache{
+		shards:     make([]*shard, nshards),
+		mask:       uint32(nshards - 1),
+		perShard:   perShard,
+		ttl:        cfg.TTL,
+		staleFor:   cfg.StaleFor,
+		gate:       NewGate(cfg.MaxInflight, cfg.QueueTimeout, cfg.Metrics),
+		flight:     newFlightGroup(),
+		now:        cfg.Now,
+		metrics:    cfg.Metrics,
+		hits:       cfg.Metrics.Counter(obs.MQCacheHits),
+		misses:     cfg.Metrics.Counter(obs.MQCacheMisses),
+		stales:     cfg.Metrics.Counter(obs.MQCacheStale),
+		coalesced:  cfg.Metrics.Counter(obs.MQCacheCoalesced),
+		evictions:  cfg.Metrics.Counter(obs.MQCacheEvictions),
+		refreshErr: cfg.Metrics.Counter(obs.MQCacheRefreshErrors),
+		entries:    cfg.Metrics.Gauge(obs.MQCacheEntries),
+		hitSeconds: cfg.Metrics.Histogram(obs.MQCacheHitSeconds),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{items: map[string]*list.Element{}, ll: list.New()}
+	}
+	return c
+}
+
+// Metrics returns the registry the cache records into.
+func (c *Cache) Metrics() *obs.Registry { return c.metrics }
+
+// Do serves key from the cache, filling it with fill on a miss:
+//
+//   - fresh entry: returned immediately (Outcome Hit);
+//   - expired entry within the stale window: returned immediately while
+//     one background refresh runs fill with a detached context
+//     (Outcome Stale) — callers should surface the staleness, e.g. via
+//     core's Answer.Degraded;
+//   - miss with a fill already in flight for key: waits for that fill
+//     and shares its result (Outcome Coalesced);
+//   - plain miss: acquires an admission slot (ErrShed within the queue
+//     timeout if the gate is full), runs fill, stores a successful
+//     result (Outcome Filled). Errors are returned, never cached.
+//
+// The fill receives the leader's context; a coalesced caller whose own
+// context ends stops waiting and returns ctx.Err() while the leader's
+// fill keeps running. The returned value is shared — treat it as
+// read-only.
+func (c *Cache) Do(ctx context.Context, key string, fill func(context.Context) (any, error)) (any, Outcome, error) {
+	start := time.Now()
+	if v, state := c.lookup(key); state == lookupFresh {
+		c.hits.Inc()
+		c.hitSeconds.Observe(time.Since(start))
+		return v, Hit, nil
+	} else if state == lookupStale {
+		c.stales.Inc()
+		c.refreshAsync(key, fill)
+		c.hitSeconds.Observe(time.Since(start))
+		return v, Stale, nil
+	}
+	v, shared, err := c.flight.Do(ctx, key, func() (any, error) {
+		release, gerr := c.gate.Acquire(ctx)
+		if gerr != nil {
+			return nil, gerr
+		}
+		defer release()
+		v, ferr := fill(ctx)
+		if ferr == nil {
+			c.store(key, v)
+		}
+		return v, ferr
+	}, c.coalesced.Inc)
+	if shared {
+		return v, Coalesced, err
+	}
+	if err != nil {
+		return nil, Filled, err
+	}
+	c.misses.Inc()
+	return v, Filled, err
+}
+
+// refreshAsync starts at most one background refresh for key. The
+// refresh runs under a background context (the triggering request is
+// long gone by the time it finishes) but still passes the admission
+// gate, so SWR refreshes cannot stampede an overloaded backend: a shed
+// refresh simply leaves the stale entry in service.
+func (c *Cache) refreshAsync(key string, fill func(context.Context) (any, error)) {
+	c.flight.Solo(key, func() (any, error) {
+		ctx := context.Background()
+		release, err := c.gate.Acquire(ctx)
+		if err != nil {
+			c.refreshErr.Inc()
+			return nil, err
+		}
+		defer release()
+		v, err := fill(ctx)
+		if err != nil {
+			c.refreshErr.Inc()
+			return nil, err
+		}
+		c.store(key, v)
+		return v, nil
+	})
+}
+
+// Get returns the cached value for key if it is fresh. It never serves
+// stale and never fills; use Do for the full serving policy.
+func (c *Cache) Get(key string) (any, bool) {
+	v, state := c.lookup(key)
+	if state != lookupFresh {
+		return nil, false
+	}
+	return v, true
+}
+
+// Put stores val under key with the cache's TTL, unconditionally.
+func (c *Cache) Put(key string, val any) { c.store(key, val) }
+
+// Len reports the live entry count across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+type lookupState int
+
+const (
+	lookupMiss lookupState = iota
+	lookupFresh
+	lookupStale
+)
+
+func (c *Cache) shard(key string) *shard {
+	return c.shards[fnv32a(key)&c.mask]
+}
+
+// lookup finds key, classifies its freshness, and touches (or expires)
+// it under the shard lock.
+func (c *Cache) lookup(key string) (any, lookupState) {
+	now := c.now()
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, lookupMiss
+	}
+	e := el.Value.(*entry)
+	switch {
+	case !now.After(e.expires):
+		s.ll.MoveToFront(el)
+		return e.val, lookupFresh
+	case !now.After(e.staleUntil):
+		s.ll.MoveToFront(el)
+		return e.val, lookupStale
+	default:
+		s.ll.Remove(el)
+		delete(s.items, key)
+		c.entries.Add(-1)
+		return nil, lookupMiss
+	}
+}
+
+// store inserts (or refreshes) key, evicting from the shard's LRU tail
+// past its capacity.
+func (c *Cache) store(key string, val any) {
+	now := c.now()
+	e := &entry{key: key, val: val, expires: now.Add(c.ttl), staleUntil: now.Add(c.ttl + c.staleFor)}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value = e
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(e)
+	c.entries.Add(1)
+	for s.ll.Len() > c.perShard {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.items, tail.Value.(*entry).key)
+		c.entries.Add(-1)
+		c.evictions.Inc()
+	}
+}
+
+// fnv32a is the 32-bit FNV-1a hash, used only to pick a shard.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}

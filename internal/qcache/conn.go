@@ -1,0 +1,86 @@
+package qcache
+
+import (
+	"context"
+
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// SourceConn mirrors client.Conn method-for-method, declared here (like
+// obs.SourceConn) so qcache never imports the client package and the
+// dependency keeps pointing outward. Go interfaces are structural: any
+// client.Conn satisfies SourceConn and vice versa.
+type SourceConn interface {
+	SourceID() string
+	Metadata(ctx context.Context) (*meta.SourceMeta, error)
+	Summary(ctx context.Context) (*meta.ContentSummary, error)
+	Sample(ctx context.Context) ([]*source.SampleEntry, error)
+	Query(ctx context.Context, q *query.Query) (*result.Results, error)
+}
+
+// Conn caches a source connection's Query results independently of any
+// merged-answer cache: repeated per-source queries — from different
+// merged queries that translate identically, or from a broker hierarchy
+// — are served from cache with the full Do policy (coalescing,
+// stale-while-revalidate, shedding). Metadata, Summary and Sample pass
+// through: the metasearch core already caches harvests by DateExpires.
+//
+// Compose it with client.Chain so the cache sits OUTSIDE the retrier
+// (retries re-run the source, never the cache — a cached failure would
+// defeat them) and INSIDE the observer (cache hits still open conn spans
+// and count into conn metrics):
+//
+//	client.Chain(conn, retryMW, cacheMW, observeMW)
+//	// = observe(cache(retry(conn)))
+//
+// Cached results are shared between callers and must be treated as
+// read-only.
+type Conn struct {
+	inner SourceConn
+	cache *Cache
+	keyer Keyer
+}
+
+var _ SourceConn = (*Conn)(nil)
+
+// WrapConn returns a caching wrapper for inner backed by cache. Keys are
+// scoped by the source ID, so sources sharing one cache never collide. A
+// nil cache passes everything through.
+func WrapConn(inner SourceConn, cache *Cache) *Conn {
+	return &Conn{inner: inner, cache: cache, keyer: Keyer{Scope: "conn/" + inner.SourceID()}}
+}
+
+// SourceID implements client.Conn.
+func (c *Conn) SourceID() string { return c.inner.SourceID() }
+
+// Metadata implements client.Conn, passing through.
+func (c *Conn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
+	return c.inner.Metadata(ctx)
+}
+
+// Summary implements client.Conn, passing through.
+func (c *Conn) Summary(ctx context.Context) (*meta.ContentSummary, error) {
+	return c.inner.Summary(ctx)
+}
+
+// Sample implements client.Conn, passing through.
+func (c *Conn) Sample(ctx context.Context) ([]*source.SampleEntry, error) {
+	return c.inner.Sample(ctx)
+}
+
+// Query implements client.Conn, serving repeated queries from the cache.
+func (c *Conn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	if c.cache == nil {
+		return c.inner.Query(ctx, q)
+	}
+	v, _, err := c.cache.Do(ctx, c.keyer.Key(q), func(fctx context.Context) (any, error) {
+		return c.inner.Query(fctx, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*result.Results), nil
+}

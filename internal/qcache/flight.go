@@ -1,0 +1,83 @@
+package qcache
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls for the same key: the first
+// caller (the leader) runs the function, later callers wait for the
+// leader's result instead of repeating the work. Unlike the classic
+// singleflight, waiters honor their own context, so a cancelled joiner
+// returns promptly while the leader's call keeps running.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// call is one in-flight execution. val and err are written before done is
+// closed, so readers that waited on done observe them race-free.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*call{}}
+}
+
+// Do executes fn once per key among concurrent callers. The leader runs
+// fn on its own goroutine and reports shared=false; joiners wait for the
+// leader (or their context) and report shared=true. onJoin, when non-nil,
+// fires synchronously the moment a caller joins an existing flight —
+// before it blocks — so coalescing is observable while the leader is
+// still running.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error), onJoin func()) (any, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		if onJoin != nil {
+			onJoin()
+		}
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Solo runs fn under key on a new goroutine unless a call for key is
+// already in flight, in which case it does nothing. It backs
+// stale-while-revalidate refreshes: many stale serves trigger at most one
+// refresh, and a concurrent Do for the same key joins it.
+func (g *flightGroup) Solo(key string, fn func() (any, error)) {
+	g.mu.Lock()
+	if _, inFlight := g.calls[key]; inFlight {
+		g.mu.Unlock()
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+}

@@ -1,0 +1,83 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"starts/internal/obs"
+)
+
+// ErrShed is returned when the admission gate could not grant a slot
+// within its queue timeout. Callers detect it with errors.Is and turn it
+// into a fast 503 (servers) or an immediate typed failure (clients)
+// instead of queueing until collapse.
+var ErrShed = errors.New("qcache: shed: too many queries in flight")
+
+// Gate is a bounded admission gate: a semaphore of maxInflight slots with
+// a queue timeout. A full gate makes overload degrade to fast, typed
+// rejections — the caller gets an ErrShed within the timeout — rather
+// than unbounded queueing. A nil *Gate admits everything.
+type Gate struct {
+	sem     chan struct{}
+	timeout time.Duration
+	shed    *obs.Counter
+	queued  *obs.Gauge
+}
+
+// DefaultQueueTimeout bounds how long an admission waits for a slot when
+// the gate's configured timeout is zero.
+const DefaultQueueTimeout = 250 * time.Millisecond
+
+// NewGate returns a gate admitting at most maxInflight concurrent
+// holders, each waiting at most queueTimeout (DefaultQueueTimeout if
+// zero) for a slot. maxInflight <= 0 returns a nil gate, which admits
+// everything. Sheds count into reg as obs.MQCacheShed.
+func NewGate(maxInflight int, queueTimeout time.Duration, reg *obs.Registry) *Gate {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if queueTimeout <= 0 {
+		queueTimeout = DefaultQueueTimeout
+	}
+	return &Gate{
+		sem:     make(chan struct{}, maxInflight),
+		timeout: queueTimeout,
+		shed:    reg.Counter(obs.MQCacheShed),
+		queued:  reg.Gauge(obs.MQCacheInflight),
+	}
+}
+
+// Acquire obtains a slot, blocking up to the queue timeout. It returns a
+// release function on success; on a full gate it returns ErrShed (wrapped
+// with the waited duration) within the timeout, and on context
+// cancellation it returns ctx.Err(). A nil gate admits immediately.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.queued.Add(1)
+		return g.release, nil
+	default:
+	}
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		g.queued.Add(1)
+		return g.release, nil
+	case <-timer.C:
+		g.shed.Inc()
+		return nil, fmt.Errorf("%w (waited %v)", ErrShed, g.timeout)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() {
+	g.queued.Add(-1)
+	<-g.sem
+}

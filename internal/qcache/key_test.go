@@ -1,0 +1,115 @@
+package qcache
+
+import (
+	"testing"
+
+	"starts/internal/query"
+)
+
+func mustFilter(t *testing.T, src string) *query.Query {
+	t.Helper()
+	q := query.New()
+	f, err := query.ParseFilter(src)
+	if err != nil {
+		t.Fatalf("ParseFilter(%q): %v", src, err)
+	}
+	q.Filter = f
+	return q
+}
+
+func mustRanking(t *testing.T, src string) *query.Query {
+	t.Helper()
+	q := query.New()
+	r, err := query.ParseRanking(src)
+	if err != nil {
+		t.Fatalf("ParseRanking(%q): %v", src, err)
+	}
+	q.Ranking = r
+	return q
+}
+
+// TestCommutativeOperandsShareKey is the regression test for the
+// canonical-fingerprint bug: commutative and/or operands must be
+// order-insensitive, so `a AND b` and `b AND a` share one cache entry.
+func TestCommutativeOperandsShareKey(t *testing.T) {
+	k := Keyer{Scope: "test"}
+	cases := []struct {
+		name string
+		a, b string
+		same bool
+	}{
+		{"and-commutes", `((title "a") and (title "b"))`, `((title "b") and (title "a"))`, true},
+		{"or-commutes", `((title "a") or (title "b"))`, `((title "b") or (title "a"))`, true},
+		{"and-associates", `(((title "a") and (title "b")) and (title "c"))`, `((title "a") and ((title "c") and (title "b")))`, true},
+		{"and-not-ordered", `((title "a") and-not (title "b"))`, `((title "b") and-not (title "a"))`, false},
+		{"and-vs-or", `((title "a") and (title "b"))`, `((title "a") or (title "b"))`, false},
+		{"different-terms", `((title "a") and (title "b"))`, `((title "a") and (title "c"))`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka := k.Key(mustFilter(t, tc.a))
+			kb := k.Key(mustFilter(t, tc.b))
+			if (ka == kb) != tc.same {
+				t.Errorf("Key(%s) vs Key(%s): same=%v, want %v\ncanonical a: %s\ncanonical b: %s",
+					tc.a, tc.b, ka == kb, tc.same,
+					Canonical(mustFilter(t, tc.a)), Canonical(mustFilter(t, tc.b)))
+			}
+		})
+	}
+}
+
+func TestRankingCommutes(t *testing.T) {
+	k := Keyer{}
+	a := k.Key(mustRanking(t, `((body-of-text "x") and (body-of-text "y"))`))
+	b := k.Key(mustRanking(t, `((body-of-text "y") and (body-of-text "x"))`))
+	if a != b {
+		t.Errorf("commutative ranking and did not share a key")
+	}
+	// List order is preserved: we do not claim list((a)(b)) == list((b)(a)).
+	la := k.Key(mustRanking(t, `list(("a") ("b"))`))
+	lb := k.Key(mustRanking(t, `list(("b") ("a"))`))
+	if la == lb {
+		t.Errorf("list operand order unexpectedly ignored")
+	}
+}
+
+func TestDefaultsNormalized(t *testing.T) {
+	k := Keyer{}
+	// An explicit default weight (1) fingerprints like no weight.
+	a := k.Key(mustRanking(t, `list((body-of-text "db" 1))`))
+	b := k.Key(mustRanking(t, `list((body-of-text "db"))`))
+	if a != b {
+		t.Errorf("default weight not normalized:\n%s\n%s",
+			Canonical(mustRanking(t, `list((body-of-text "db" 1))`)),
+			Canonical(mustRanking(t, `list((body-of-text "db"))`)))
+	}
+	// MaxResults 0 means the default; spelling the default out matches.
+	qa, qb := mustRanking(t, `list(("db"))`), mustRanking(t, `list(("db"))`)
+	qa.MaxResults = 0
+	qb.MaxResults = query.DefaultMaxResults
+	if k.Key(qa) != k.Key(qb) {
+		t.Errorf("default MaxResults not normalized")
+	}
+	// A different result bound is a different answer.
+	qb.MaxResults = 3
+	if k.Key(qa) == k.Key(qb) {
+		t.Errorf("MaxResults ignored by the fingerprint")
+	}
+}
+
+func TestSourcesSetShaped(t *testing.T) {
+	k := Keyer{}
+	qa, qb := mustRanking(t, `list(("db"))`), mustRanking(t, `list(("db"))`)
+	qa.Sources = []string{"s1", "s2"}
+	qb.Sources = []string{"s2", "s1"}
+	if k.Key(qa) != k.Key(qb) {
+		t.Errorf("Sources order changed the fingerprint")
+	}
+}
+
+func TestScopeSeparatesNamespaces(t *testing.T) {
+	q := mustRanking(t, `list(("db"))`)
+	if (Keyer{Scope: "a"}).Key(q) == (Keyer{Scope: "b"}).Key(q) {
+		t.Errorf("distinct scopes produced colliding keys")
+	}
+}

@@ -20,6 +20,9 @@ package server
 
 import (
 	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"starts/internal/obs"
+	"starts/internal/qcache"
 	"starts/internal/query"
 	"starts/internal/result"
 	"starts/internal/soif"
@@ -51,6 +55,10 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *obs.Registry
 	traces  *obs.TraceRing
+	gate    *qcache.Gate
+
+	maxInflight  int
+	queueTimeout time.Duration
 }
 
 // Option configures a Server.
@@ -65,6 +73,18 @@ func WithMetrics(reg *obs.Registry) Option {
 // WithTraceCapacity sizes the /debug/last-traces ring (default 32).
 func WithTraceCapacity(n int) Option {
 	return func(s *Server) { s.traces = obs.NewTraceRing(n) }
+}
+
+// WithMaxInflight bounds concurrent query evaluations to n. Excess
+// requests wait up to queueTimeout (qcache.DefaultQueueTimeout if zero)
+// for a slot and are then shed with a fast 503 + Retry-After instead of
+// queueing without bound; sheds count as starts_qcache_shed_total on
+// /metrics. n <= 0 leaves queries unbounded.
+func WithMaxInflight(n int, queueTimeout time.Duration) Option {
+	return func(s *Server) {
+		s.maxInflight = n
+		s.queueTimeout = queueTimeout
+	}
 }
 
 // New returns a server for the resource. baseURL (scheme://host[:port],
@@ -85,6 +105,7 @@ func New(res *source.Resource, baseURL string, opts ...Option) *Server {
 	if srv.traces == nil {
 		srv.traces = obs.NewTraceRing(32)
 	}
+	srv.gate = qcache.NewGate(srv.maxInflight, srv.queueTimeout, srv.metrics)
 	srv.route("GET /resource", "resource", srv.handleResource)
 	srv.route("GET /sources/{id}/metadata", "metadata", srv.handleMetadata)
 	srv.route("GET /sources/{id}/summary", "summary", srv.handleSummary)
@@ -149,26 +170,23 @@ func wantsJSON(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), JSONContentType)
 }
 
-// writeObjects delivers SOIF objects in the encoding the request asked
+// marshalObjects renders SOIF objects in the encoding the request asked
 // for: length-framed SOIF text by default, JSON when Accept prefers it.
-func writeObjects(w http.ResponseWriter, r *http.Request, objs []*soif.Object) {
-	var data []byte
-	var err error
-	ct := ContentType
+func marshalObjects(r *http.Request, objs []*soif.Object) (data []byte, contentType string, err error) {
 	if wantsJSON(r) {
-		ct = JSONContentType
 		data, err = soif.MarshalAllJSON(objs)
-	} else {
-		data, err = soif.MarshalAll(objs)
+		return data, JSONContentType, err
 	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", ct)
-	// Content summaries in particular compress extremely well; honor
-	// gzip when the client accepts it (Go's default HTTP client does,
-	// and decompresses transparently).
+	data, err = soif.MarshalAll(objs)
+	return data, ContentType, err
+}
+
+// deliver writes an already-marshaled payload, gzipping large responses
+// for clients that accept it. Content summaries in particular compress
+// extremely well (Go's default HTTP client sends Accept-Encoding: gzip
+// and decompresses transparently).
+func deliver(w http.ResponseWriter, r *http.Request, contentType string, data []byte) {
+	w.Header().Set("Content-Type", contentType)
 	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") && len(data) > 1024 {
 		w.Header().Set("Content-Encoding", "gzip")
 		gz := gzip.NewWriter(w)
@@ -177,6 +195,85 @@ func writeObjects(w http.ResponseWriter, r *http.Request, objs []*soif.Object) {
 		return
 	}
 	_, _ = w.Write(data)
+}
+
+// writeObjects delivers SOIF objects with no cache validators (used by
+// routes whose payload has no freshness metadata to derive them from).
+func writeObjects(w http.ResponseWriter, r *http.Request, objs []*soif.Object) {
+	data, ct, err := marshalObjects(r, objs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	deliver(w, r, ct, data)
+}
+
+// writeCacheable delivers SOIF objects with HTTP cache validators: a
+// strong content-hash ETag (of the selected encoding, before
+// compression) and a Cache-Control max-age derived from the source's
+// metadata expiry. A request presenting a matching If-None-Match gets a
+// bodyless 304 instead — the validator round-trip costs headers, not a
+// re-marshaled summary.
+func writeCacheable(w http.ResponseWriter, r *http.Request, objs []*soif.Object, maxAge time.Duration) {
+	data, ct, err := marshalObjects(r, objs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sum := sha256.Sum256(data)
+	etag := `"` + hex.EncodeToString(sum[:16]) + `"`
+	h := w.Header()
+	h.Set("ETag", etag)
+	// The representation varies with Accept (encoding) and
+	// Accept-Encoding (compression); caches must key on both.
+	h.Set("Vary", "Accept, Accept-Encoding")
+	if secs := int(maxAge.Seconds()); secs > 0 {
+		h.Set("Cache-Control", "max-age="+strconv.Itoa(secs))
+	} else {
+		// No (or expired) freshness metadata: force revalidation, which
+		// the ETag makes cheap.
+		h.Set("Cache-Control", "no-cache")
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	deliver(w, r, ct, data)
+}
+
+// etagMatches reports whether an If-None-Match header value matches etag,
+// honoring the wildcard, comma-separated candidate lists, and weak
+// validators (RFC 9110's weak comparison suffices for 304s).
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// maxAge derives a Cache-Control lifetime from the source's metadata:
+// the time remaining until DateExpires, clamped to [0, one day]. Sources
+// without an expiry get 0 (serve with revalidation).
+func maxAge(src *source.Source) time.Duration {
+	exp := src.Metadata().DateExpires
+	if exp.IsZero() {
+		return 0
+	}
+	d := time.Until(exp)
+	if d < 0 {
+		return 0
+	}
+	if d > 24*time.Hour {
+		d = 24 * time.Hour
+	}
+	return d
 }
 
 func (s *Server) handleResource(w http.ResponseWriter, r *http.Request) {
@@ -188,7 +285,7 @@ func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeObjects(w, r, []*soif.Object{src.Metadata().ToSOIF()})
+	writeCacheable(w, r, []*soif.Object{src.Metadata().ToSOIF()}, maxAge(src))
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
@@ -196,7 +293,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeObjects(w, r, []*soif.Object{src.ContentSummary().ToSOIF()})
+	writeCacheable(w, r, []*soif.Object{src.ContentSummary().ToSOIF()}, maxAge(src))
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
@@ -227,6 +324,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Load shedding: queries are the only expensive route, so they pass
+	// the admission gate first. A full gate answers 503 within the queue
+	// timeout — clients should back off and retry (the retry middleware
+	// treats 503 as temporary).
+	release, err := s.gate.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, qcache.ErrShed) {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
 	// Each query request records a trace (decode → search → encode) into
 	// the /debug/last-traces ring.
 	tr := obs.NewTrace("query " + src.ID())
@@ -284,6 +394,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter(obs.L("starts_server_query_docs_total", "source", src.ID())).
 		Add(int64(len(rr.Documents)))
 	esp := tr.StartSpan("encode")
-	writeObjects(w, r, rr.ToSOIF())
+	writeCacheable(w, r, rr.ToSOIF(), maxAge(src))
 	esp.End(nil)
 }

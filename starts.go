@@ -34,6 +34,7 @@ import (
 	"starts/internal/merge"
 	"starts/internal/meta"
 	"starts/internal/obs"
+	"starts/internal/qcache"
 	"starts/internal/query"
 	"starts/internal/resilient"
 	"starts/internal/result"
@@ -131,6 +132,13 @@ func WithServerMetrics(reg *obs.Registry) ServerOption { return server.WithMetri
 // WithServerTraceCapacity sizes the server's /debug/last-traces ring.
 func WithServerTraceCapacity(n int) ServerOption { return server.WithTraceCapacity(n) }
 
+// WithServerMaxInflight bounds concurrent query evaluations; excess
+// requests wait up to queueTimeout for a slot and are then shed with a
+// fast 503 + Retry-After. n <= 0 leaves queries unbounded.
+func WithServerMaxInflight(n int, queueTimeout time.Duration) ServerOption {
+	return server.WithMaxInflight(n, queueTimeout)
+}
+
 // NewServer returns an http.Handler serving the resource; baseURL is
 // stamped into exported metadata. The server exposes its own GET /metrics
 // and GET /debug/last-traces endpoints.
@@ -219,6 +227,33 @@ func WithPostFilter(on bool) SearchOption { return core.WithPostFilter(on) }
 //	ans, _ := ms.Search(ctx, q, starts.WithTrace(&tr))
 //	fmt.Print(tr.Snapshot().Tree())
 func WithTrace(t *Trace) SearchOption { return core.WithTrace(t) }
+
+// WithCache serves this search through c, overriding (or supplying) the
+// metasearcher's MetasearcherOptions.Cache for this call only.
+func WithCache(c *QueryCache) SearchOption { return core.WithCache(c) }
+
+// WithNoCache bypasses the query-result cache for this search.
+func WithNoCache() SearchOption { return core.WithNoCache() }
+
+// Query-result caching and load shedding.
+type (
+	// QueryCache is a sharded LRU+TTL query-result cache with
+	// singleflight coalescing, stale-while-revalidate and load shedding.
+	// Plug it into MetasearcherOptions.Cache (merged answers) or wrap
+	// individual conns with CacheMiddleware (per-source results).
+	QueryCache = qcache.Cache
+	// QueryCacheConfig configures a QueryCache; its zero value is usable.
+	QueryCacheConfig = qcache.Config
+)
+
+// ErrShed is returned (wrapped) when the cache's admission gate sheds a
+// query under overload; detect it with errors.Is.
+var ErrShed = qcache.ErrShed
+
+// NewQueryCache returns a query-result cache (zero config takes the
+// defaults: 4096 entries, 16 shards, one-minute TTL, stale window of
+// four TTLs, unbounded admission).
+func NewQueryCache(cfg QueryCacheConfig) *QueryCache { return qcache.New(cfg) }
 
 // Observability.
 type (
@@ -330,6 +365,19 @@ func FaultyMiddleware(cfg FaultConfig) ConnMiddleware {
 // ObserveMiddleware is WrapConn as a ConnMiddleware.
 func ObserveMiddleware(reg *MetricsRegistry) ConnMiddleware {
 	return func(c Conn) Conn { return obs.WrapConn(c, reg) }
+}
+
+// CacheMiddleware caches a conn's per-source query results in cache.
+// Compose it so the cache sits OUTSIDE the retrier (retries re-run the
+// source, never the cache) and INSIDE the observer (hits still trace and
+// count):
+//
+//	conn = starts.ChainConn(conn,
+//		starts.RetryMiddleware(policy, budget),
+//		starts.CacheMiddleware(cache),
+//		starts.ObserveMiddleware(reg))
+func CacheMiddleware(cache *QueryCache) ConnMiddleware {
+	return func(c Conn) Conn { return qcache.WrapConn(c, cache) }
 }
 
 // Selectors.
