@@ -3,7 +3,7 @@
 GO      ?= go
 BINDIR  ?= /tmp/starts-bin
 
-.PHONY: build test vet race bench tier1 tier2 check cli clean
+.PHONY: build test vet race bench warm tier1 tier2 check cli clean
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,16 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark once with allocation stats; for stable
-# numbers (e.g. the SearchCached vs SearchCold comparison in
-# EXPERIMENTS.md) drop -benchtime 1x.
+# numbers (e.g. the SearchCold / SearchCached / SearchWarmed trio in
+# EXPERIMENTS.md and BENCH_4.json) drop -benchtime 1x.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' ./...
+
+# warm runs the warm-start comparison at full benchtime: cold pipeline
+# vs steady-state hit vs first repeats after a workload replay (the
+# warm-replay-ns metric is the one-time startup cost).
+warm:
+	$(GO) test -bench 'BenchmarkSearch(Cold|Cached|Warmed)$$' -benchmem -run '^$$' .
 
 # tier1 is the repo's baseline gate: everything must always pass.
 tier1: build test

@@ -272,6 +272,65 @@ func BenchmarkSearchCached(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchWarmed is X10: a restarted metasearcher that replayed
+// the previous run's workload serves its first (and every) repeated
+// query from cache. Each iteration measures the post-restart serve; the
+// one-time replay cost is reported as warm-ns/op.
+func BenchmarkSearchWarmed(b *testing.B) {
+	srcs := benchFleet(b, 5, 200, engine.TFIDF{}, engine.TopK{})
+	newMS := func() *starts.Metasearcher {
+		ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+			MaxSources: 3,
+			Cache:      starts.NewQueryCache(starts.QueryCacheConfig{TTL: time.Hour}),
+		})
+		for _, s := range srcs {
+			ms.Add(starts.NewLocalConn(s, nil))
+		}
+		return ms
+	}
+	ctx := context.Background()
+	q := benchQuery(b, `list((body-of-text "database") (body-of-text "patient"))`)
+
+	// First life: serve the workload once, record it.
+	prev := newMS()
+	if err := prev.Harvest(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prev.Search(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	workload := prev.Workload()
+
+	// Restart: fresh metasearcher and cache, warmed from the workload.
+	ms := newMS()
+	if err := ms.Harvest(ctx); err != nil {
+		b.Fatal(err)
+	}
+	warmStart := time.Now()
+	stats, err := ms.Warm(ctx, workload, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmElapsed := time.Since(warmStart)
+	if stats.Replayed != len(workload) {
+		b.Fatalf("warm stats = %+v, want %d replayed", stats, len(workload))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := ms.Search(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ans.Documents) == 0 {
+			b.Fatal("empty warmed answer")
+		}
+	}
+	// ResetTimer clears custom metrics, so the one-time replay cost is
+	// reported after the loop.
+	b.ReportMetric(float64(warmElapsed.Nanoseconds()), "warm-replay-ns")
+}
+
 // BenchmarkEndToEndHTTP is X6: one query round trip over the HTTP
 // transport, including SOIF encoding on both sides.
 func BenchmarkEndToEndHTTP(b *testing.B) {

@@ -51,8 +51,10 @@ func main() {
 		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit sheds traffic before probing")
 		adaptive        = flag.Bool("adaptive", false, "discount selection goodness by observed latency, failures and breaker state")
 		cacheSize       = flag.Int("cache-size", 0, "cache merged answers for repeated queries, at most N entries (0 = no cache)")
-		cacheTTL        = flag.Duration("cache-ttl", time.Minute, "how long a cached answer serves fresh (expired entries serve stale while a refresh runs)")
+		cacheTTL        = flag.Duration("cache-ttl", time.Minute, "fallback freshness for cached answers whose sources declare no DateExpires/DateChanged (expired entries serve stale while a refresh runs)")
 		maxInflight     = flag.Int("max-inflight", 0, "bound concurrent uncached fan-outs; excess queries are shed with a fast error (0 = unbounded; implies caching)")
+		warmFile        = flag.String("warm-file", "", "workload file: replay it through the cache before searching, and save this run's workload back to it (implies caching)")
+		warmConcurrency = flag.Int("warm-concurrency", 0, "bound concurrent warm-start replays (0 = default)")
 		faultRate       = flag.Float64("fault-rate", 0, "inject client-side faults: per-call error probability (testing)")
 		faultLatency    = flag.Duration("fault-latency", 0, "inject client-side faults: added per-call latency (testing)")
 		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection seed")
@@ -87,7 +89,7 @@ func main() {
 		Timeout: *timeout, PostFilter: *verify, Budget: *budget,
 		Metrics: reg,
 	}
-	if *cacheSize > 0 || *maxInflight > 0 {
+	if *cacheSize > 0 || *maxInflight > 0 || *warmFile != "" {
 		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{
 			MaxEntries: *cacheSize, TTL: *cacheTTL,
 			MaxInflight: *maxInflight, Metrics: reg,
@@ -141,6 +143,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "harvested %d sources\n", len(ms.SourceIDs()))
 
+	// Warm start: replay the previous run's workload through the cache so
+	// this run's repeated queries hit from the first request.
+	if *warmFile != "" {
+		if entries, werr := starts.LoadWorkloadFile(*warmFile); werr != nil {
+			if !os.IsNotExist(werr) {
+				log.Fatalf("metasearch: loading warm file: %v", werr)
+			}
+		} else if len(entries) > 0 {
+			stats, werr := ms.Warm(ctx, entries, *warmConcurrency)
+			if werr != nil {
+				log.Fatalf("metasearch: warming: %v", werr)
+			}
+			fmt.Fprintf(os.Stderr, "warm start: %s\n", stats)
+		}
+	}
+
 	q := starts.NewQuery()
 	var err error
 	if *filter != "" {
@@ -187,6 +205,11 @@ func main() {
 		case oc.Report != nil && !oc.Report.Clean():
 			fmt.Fprintf(os.Stderr, "source %s: lossy translation (%d dropped terms, filter dropped %v, ranking dropped %v)\n",
 				id, len(oc.Report.DroppedTerms), oc.Report.DroppedFilter, oc.Report.DroppedRanking)
+		}
+	}
+	if *warmFile != "" {
+		if werr := starts.SaveWorkloadFile(*warmFile, ms.Workload()); werr != nil {
+			fmt.Fprintf(os.Stderr, "metasearch: saving warm file: %v\n", werr)
 		}
 	}
 }

@@ -41,8 +41,10 @@ func main() {
 		breakerAfter    = flag.Int("breaker-after", 0, "open a source's circuit after N consecutive failures (0 = no breaker)")
 		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit sheds traffic before probing")
 		cacheSize       = flag.Int("cache-size", 0, "cache merged answers for repeated queries, at most N entries (0 = no cache)")
-		cacheTTL        = flag.Duration("cache-ttl", time.Minute, "how long a cached answer serves fresh (expired entries serve stale while a refresh runs)")
+		cacheTTL        = flag.Duration("cache-ttl", time.Minute, "fallback freshness for cached answers whose sources declare no DateExpires/DateChanged (expired entries serve stale while a refresh runs)")
 		maxInflight     = flag.Int("max-inflight", 0, "bound concurrent uncached fan-outs; excess queries are shed with a fast error (0 = unbounded; implies caching)")
+		warmFile        = flag.String("warm-file", "", "workload file: replay it through the cache on startup, and save this session's workload back to it on quit (implies caching)")
+		warmConcurrency = flag.Int("warm-concurrency", 0, "bound concurrent warm-start replays (0 = default)")
 		trace           = flag.Bool("trace", false, "print each q/f search's span tree")
 	)
 	flag.Parse()
@@ -54,7 +56,7 @@ func main() {
 	hc := starts.NewClient(nil)
 	reg := starts.NewMetricsRegistry()
 	opts := starts.MetasearcherOptions{Timeout: 15 * time.Second, Budget: *budget, Metrics: reg}
-	if *cacheSize > 0 || *maxInflight > 0 {
+	if *cacheSize > 0 || *maxInflight > 0 || *warmFile != "" {
 		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{
 			MaxEntries: *cacheSize, TTL: *cacheTTL,
 			MaxInflight: *maxInflight, Metrics: reg,
@@ -90,6 +92,24 @@ func main() {
 	}
 	fmt.Printf("harvested %d sources; type help for commands\n", len(ms.SourceIDs()))
 
+	// Warm start: replay the previous session's workload through the
+	// cache so this session's repeated queries hit from the first request.
+	if *warmFile != "" {
+		if entries, err := starts.LoadWorkloadFile(*warmFile); err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "startsh: loading warm file: %v\n", err)
+				os.Exit(1)
+			}
+		} else if len(entries) > 0 {
+			stats, err := ms.Warm(ctx, entries, *warmConcurrency)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "startsh: warming: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("warm start: %s\n", stats)
+		}
+	}
+
 	sh := &shell{ms: ms, ctx: ctx, br: br, reg: reg, trace: *trace}
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("starts> ")
@@ -104,6 +124,11 @@ func main() {
 		fmt.Print("starts> ")
 	}
 	fmt.Println()
+	if *warmFile != "" {
+		if err := starts.SaveWorkloadFile(*warmFile, ms.Workload()); err != nil {
+			fmt.Fprintf(os.Stderr, "startsh: saving warm file: %v\n", err)
+		}
+	}
 }
 
 type shell struct {

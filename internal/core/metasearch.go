@@ -80,8 +80,9 @@ type Metasearcher struct {
 	order   []string
 	entries map[string]*entry
 
-	stats   *statsBook
-	metrics *obs.Registry
+	stats    *statsBook
+	metrics  *obs.Registry
+	workload *qcache.Recorder
 }
 
 // BreakerGate admits or refuses traffic to sources. It is satisfied by
@@ -125,11 +126,12 @@ func New(opts Options) *Metasearcher {
 		opts.Metrics = obs.NewRegistry()
 	}
 	return &Metasearcher{
-		opts:    opts,
-		conns:   map[string]client.Conn{},
-		entries: map[string]*entry{},
-		stats:   newStatsBook(),
-		metrics: opts.Metrics,
+		opts:     opts,
+		conns:    map[string]client.Conn{},
+		entries:  map[string]*entry{},
+		stats:    newStatsBook(),
+		metrics:  opts.Metrics,
+		workload: qcache.NewRecorder(0),
 	}
 }
 
@@ -436,13 +438,16 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...Sear
 
 // searchCached is the cache-fronted Search path: it fingerprints the
 // query, asks the cache, and only on a miss runs the full pipeline (as
-// the coalescing flight's leader). The "cache" span annotates how the
-// call was served.
+// the coalescing flight's leader). The entry's lifetime comes from the
+// answering sources' own freshness metadata (see answerTTL). The "cache"
+// span annotates how the call was served, and every serve is recorded in
+// the warm-start workload.
 func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query.Query, opts Options, cache *qcache.Cache) (*Answer, error) {
 	csp := tr.StartSpan("cache")
 	key := m.cacheKey(q, opts)
 	csp.Annotate("key", key)
-	fill := func(fctx context.Context) (any, error) {
+	m.recordWorkload(key, q)
+	fill := func(fctx context.Context) (any, time.Duration, error) {
 		if obs.TraceFrom(fctx) == nil {
 			// Background stale-while-revalidate refresh: the triggering
 			// request's trace is long finished, so the refresh runs
@@ -451,9 +456,13 @@ func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query
 			defer ftr.Finish()
 			fctx = obs.WithTrace(obs.WithMetrics(fctx, m.metrics), ftr)
 		}
-		return m.run(fctx, q, opts)
+		ans, err := m.run(fctx, q, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ans, m.answerTTL(ans, opts), nil
 	}
-	v, outcome, err := cache.Do(ctx, key, fill)
+	v, outcome, err := cache.DoTTL(ctx, key, fill)
 	csp.Annotate("outcome", outcome.String())
 	csp.End(err)
 	if err != nil {
@@ -466,6 +475,123 @@ func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query
 		return ans, nil
 	}
 	return ans.cachedCopy(tr, outcome == qcache.Stale), nil
+}
+
+// answerTTL derives a merged answer's cache lifetime from the freshness
+// metadata of the sources that produced it: the minimum qcache.FreshFor
+// across the contacted sources, so the answer expires when its most
+// volatile ingredient does. Sources declaring neither DateExpires nor
+// DateChanged contribute nothing; if no source declares anything, 0 is
+// returned and the cache falls back to its configured TTL. The cache
+// clamps the result to [TTLFloor, TTLCeiling], mirroring the server's
+// Cache-Control derivation for single sources.
+func (m *Metasearcher) answerTTL(ans *Answer, opts Options) time.Duration {
+	now := opts.Now()
+	var min time.Duration
+	found := false
+	for _, id := range ans.Contacted {
+		md, _, ok := m.Harvested(id)
+		if !ok || md == nil {
+			continue
+		}
+		ttl, ok := qcache.FreshFor(md.DateChanged, md.DateExpires, now)
+		if !ok {
+			continue
+		}
+		if !found || ttl < min {
+			min, found = ttl, true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return min
+}
+
+// recordWorkload notes one cache-fronted query in the warm-start
+// workload: its fingerprint plus the Basic-1 text needed to replay it.
+// Queries whose expressions do not round-trip through the parser (some
+// multi-value ranking terms) are still recorded; Warm skips them with an
+// error count instead of failing the replay.
+func (m *Metasearcher) recordWorkload(key string, q *query.Query) {
+	e := qcache.WarmEntry{Key: key, MaxResults: q.MaxResults}
+	if q.Filter != nil {
+		e.Filter = q.Filter.String()
+	}
+	if q.Ranking != nil {
+		e.Ranking = q.Ranking.String()
+	}
+	m.workload.Record(e)
+}
+
+// Workload lists the recently served cache-fronted queries (bounded,
+// deduplicated, least recently served first) for persisting across a
+// restart and replaying with Warm.
+func (m *Metasearcher) Workload() []qcache.WarmEntry { return m.workload.Entries() }
+
+// CacheKey fingerprints q under the metasearcher's baseline options —
+// the key Search would use for it. Exposed for warm-start bookkeeping
+// and debugging.
+func (m *Metasearcher) CacheKey(q *query.Query) string {
+	m.mu.RLock()
+	opts := m.opts
+	m.mu.RUnlock()
+	return m.cacheKey(q, opts)
+}
+
+// Warm replays a recorded workload through the regular cache-fronted
+// Search path — every replay passes the cache's singleflight and
+// admission gate — so a restarted metasearcher serves its hot queries as
+// cache hits from the first request. At most concurrency replays run at
+// once (qcache.DefaultWarmConcurrency if <= 0). Entries already fresh in
+// the cache are skipped; entries whose recorded query no longer parses
+// count as errors and are skipped. It returns an error only when no
+// cache is configured.
+func (m *Metasearcher) Warm(ctx context.Context, entries []qcache.WarmEntry, concurrency int) (qcache.WarmStats, error) {
+	m.mu.RLock()
+	cache := m.opts.Cache
+	m.mu.RUnlock()
+	if cache == nil {
+		return qcache.WarmStats{}, fmt.Errorf("core: warm start needs Options.Cache")
+	}
+	stats := cache.Warm(ctx, entries, concurrency, func(rctx context.Context, e qcache.WarmEntry) error {
+		q, err := warmQuery(e)
+		if err != nil {
+			return err
+		}
+		_, err = m.Search(rctx, q)
+		return err
+	})
+	return stats, nil
+}
+
+// warmQuery reconstructs a replayable query from a workload entry's
+// recorded Basic-1 text.
+func warmQuery(e qcache.WarmEntry) (*query.Query, error) {
+	if e.Filter == "" && e.Ranking == "" {
+		return nil, fmt.Errorf("core: workload entry %q records no query text", e.Key)
+	}
+	// Start from the spec defaults, as interactive queries do, so the
+	// replay fingerprints identically to the query it is reviving.
+	q := query.New()
+	if e.MaxResults != 0 {
+		q.MaxResults = e.MaxResults
+	}
+	if e.Filter != "" {
+		f, err := query.ParseFilter(e.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("core: re-parsing workload filter: %w", err)
+		}
+		q.Filter = f
+	}
+	if e.Ranking != "" {
+		r, err := query.ParseRanking(e.Ranking)
+		if err != nil {
+			return nil, fmt.Errorf("core: re-parsing workload ranking: %w", err)
+		}
+		q.Ranking = r
+	}
+	return q, nil
 }
 
 // cacheKey fingerprints a query together with everything outside it that

@@ -43,4 +43,20 @@ const (
 	// MQCacheHitSeconds is the hit-path latency histogram: time to serve
 	// an answer from cache (fresh or stale), fan-out excluded.
 	MQCacheHitSeconds = "starts_qcache_hit_seconds"
+	// MQCacheEntryTTLSeconds is the histogram of explicit per-entry
+	// lifetimes derived from source freshness metadata (after clamping to
+	// [TTLFloor, TTLCeiling]); entries on the Config.TTL fallback are not
+	// observed.
+	MQCacheEntryTTLSeconds = "starts_qcache_entry_ttl_seconds"
+	// MQCacheWarmReplayed counts workload entries replayed successfully
+	// during a warm start.
+	MQCacheWarmReplayed = "starts_qcache_warm_replayed_total"
+	// MQCacheWarmSkipped counts workload entries skipped during a warm
+	// start (duplicates, or already fresh in the cache).
+	MQCacheWarmSkipped = "starts_qcache_warm_skipped_total"
+	// MQCacheWarmErrors counts workload entries whose replay failed
+	// (query re-parse or search error).
+	MQCacheWarmErrors = "starts_qcache_warm_errors_total"
+	// MQCacheWarmSeconds is the wall time of whole warm-start replays.
+	MQCacheWarmSeconds = "starts_qcache_warm_seconds"
 )

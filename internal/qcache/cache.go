@@ -1,9 +1,8 @@
 package qcache
 
 import (
-	"container/list"
 	"context"
-	"sync"
+	"fmt"
 	"time"
 
 	"starts/internal/obs"
@@ -13,13 +12,23 @@ import (
 // 16 shards, one-minute TTL, a stale window of four TTLs, no admission
 // bound, and a private metrics registry.
 type Config struct {
-	// MaxEntries bounds the cache size across all shards (default 4096).
+	// MaxEntries bounds the default store's size across all shards
+	// (default 4096). Ignored when Store is set.
 	MaxEntries int
-	// Shards is the shard count, rounded up to a power of two
-	// (default 16). More shards, less mutex contention.
+	// Shards is the default store's shard count, rounded up to a power
+	// of two (default 16). More shards, less mutex contention. Ignored
+	// when Store is set.
 	Shards int
-	// TTL is how long an entry serves fresh (default one minute).
+	// TTL is how long an entry serves fresh when the fill does not name
+	// its own lifetime (default one minute).
 	TTL time.Duration
+	// TTLFloor bounds per-entry lifetimes from below (default one
+	// second): a source that is already past its DateExpires still
+	// caches briefly instead of thrashing the fan-out.
+	TTLFloor time.Duration
+	// TTLCeiling bounds per-entry lifetimes from above (default one
+	// day, matching the server's Cache-Control clamp).
+	TTLCeiling time.Duration
 	// StaleFor is how long past its TTL an entry may still be served
 	// stale while a background refresh runs (stale-while-revalidate).
 	// Zero defaults to four TTLs; negative disables stale serving.
@@ -30,6 +39,11 @@ type Config struct {
 	// QueueTimeout is how long an admission waits for a fill slot before
 	// being shed with ErrShed (default DefaultQueueTimeout).
 	QueueTimeout time.Duration
+	// Store overrides the storage backend; nil builds the default
+	// sharded LRU from MaxEntries/Shards. Singleflight coalescing and
+	// the admission gate stay in front of any store, so a distributed
+	// backend plugs in here without re-implementing either.
+	Store Store
 	// Metrics receives the cache's counters, gauge and hit-path
 	// histogram; nil allocates a private registry. Share one registry
 	// across components for a single /metrics view.
@@ -67,15 +81,21 @@ func (o Outcome) String() string {
 	return "unknown"
 }
 
+// TTLFill computes a value together with its freshness lifetime. A ttl
+// of 0 takes the cache's Config.TTL; any other value is clamped to
+// [TTLFloor, TTLCeiling], so a negative remaining lifetime (a source
+// already past its DateExpires) caches for the floor instead of nothing.
+type TTLFill func(context.Context) (val any, ttl time.Duration, err error)
+
 // Cache is a sharded LRU+TTL query-result cache with singleflight
 // coalescing, stale-while-revalidate and load shedding. All methods are
 // safe for concurrent use. Cached values are shared across callers and
 // must be treated as read-only.
 type Cache struct {
-	shards   []*shard
-	mask     uint32
-	perShard int
+	storage  Store
 	ttl      time.Duration
+	floor    time.Duration
+	ceiling  time.Duration
 	staleFor time.Duration
 	gate     *Gate
 	flight   *flightGroup
@@ -86,42 +106,21 @@ type Cache struct {
 	misses     *obs.Counter
 	stales     *obs.Counter
 	coalesced  *obs.Counter
-	evictions  *obs.Counter
 	refreshErr *obs.Counter
-	entries    *obs.Gauge
 	hitSeconds *obs.Histogram
-}
-
-// shard is one lock domain: a map into an LRU list (front = most
-// recently used).
-type shard struct {
-	mu    sync.Mutex
-	items map[string]*list.Element
-	ll    *list.List
-}
-
-// entry is one cached value with its freshness bounds.
-type entry struct {
-	key        string
-	val        any
-	expires    time.Time // fresh until here
-	staleUntil time.Time // servable-stale until here
+	ttlSeconds *obs.Histogram
 }
 
 // New returns a cache for the config (zero Config takes the defaults).
 func New(cfg Config) *Cache {
-	if cfg.MaxEntries <= 0 {
-		cfg.MaxEntries = 4096
-	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = 16
-	}
-	nshards := 1
-	for nshards < cfg.Shards {
-		nshards <<= 1
-	}
 	if cfg.TTL <= 0 {
 		cfg.TTL = time.Minute
+	}
+	if cfg.TTLFloor <= 0 {
+		cfg.TTLFloor = time.Second
+	}
+	if cfg.TTLCeiling <= 0 {
+		cfg.TTLCeiling = 24 * time.Hour
 	}
 	switch {
 	case cfg.StaleFor == 0:
@@ -135,12 +134,14 @@ func New(cfg Config) *Cache {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	perShard := (cfg.MaxEntries + nshards - 1) / nshards
-	c := &Cache{
-		shards:     make([]*shard, nshards),
-		mask:       uint32(nshards - 1),
-		perShard:   perShard,
+	if cfg.Store == nil {
+		cfg.Store = NewLRUStore(cfg.MaxEntries, cfg.Shards, cfg.Metrics)
+	}
+	return &Cache{
+		storage:    cfg.Store,
 		ttl:        cfg.TTL,
+		floor:      cfg.TTLFloor,
+		ceiling:    cfg.TTLCeiling,
 		staleFor:   cfg.StaleFor,
 		gate:       NewGate(cfg.MaxInflight, cfg.QueueTimeout, cfg.Metrics),
 		flight:     newFlightGroup(),
@@ -150,21 +151,25 @@ func New(cfg Config) *Cache {
 		misses:     cfg.Metrics.Counter(obs.MQCacheMisses),
 		stales:     cfg.Metrics.Counter(obs.MQCacheStale),
 		coalesced:  cfg.Metrics.Counter(obs.MQCacheCoalesced),
-		evictions:  cfg.Metrics.Counter(obs.MQCacheEvictions),
 		refreshErr: cfg.Metrics.Counter(obs.MQCacheRefreshErrors),
-		entries:    cfg.Metrics.Gauge(obs.MQCacheEntries),
 		hitSeconds: cfg.Metrics.Histogram(obs.MQCacheHitSeconds),
+		ttlSeconds: cfg.Metrics.Histogram(obs.MQCacheEntryTTLSeconds),
 	}
-	for i := range c.shards {
-		c.shards[i] = &shard{items: map[string]*list.Element{}, ll: list.New()}
-	}
-	return c
 }
 
 // Metrics returns the registry the cache records into.
 func (c *Cache) Metrics() *obs.Registry { return c.metrics }
 
-// Do serves key from the cache, filling it with fill on a miss:
+// Do serves key from the cache, filling it with fill on a miss. It is
+// DoTTL with every entry taking the cache's Config.TTL.
+func (c *Cache) Do(ctx context.Context, key string, fill func(context.Context) (any, error)) (any, Outcome, error) {
+	return c.DoTTL(ctx, key, func(fctx context.Context) (any, time.Duration, error) {
+		v, err := fill(fctx)
+		return v, 0, err
+	})
+}
+
+// DoTTL serves key from the cache, filling it with fill on a miss:
 //
 //   - fresh entry: returned immediately (Outcome Hit);
 //   - expired entry within the stale window: returned immediately while
@@ -175,22 +180,25 @@ func (c *Cache) Metrics() *obs.Registry { return c.metrics }
 //     and shares its result (Outcome Coalesced);
 //   - plain miss: acquires an admission slot (ErrShed within the queue
 //     timeout if the gate is full), runs fill, stores a successful
-//     result (Outcome Filled). Errors are returned, never cached.
+//     result under the fill's lifetime (Outcome Filled). Errors are
+//     returned, never cached.
 //
-// The fill receives the leader's context; a coalesced caller whose own
-// context ends stops waiting and returns ctx.Err() while the leader's
-// fill keeps running. The returned value is shared — treat it as
-// read-only.
-func (c *Cache) Do(ctx context.Context, key string, fill func(context.Context) (any, error)) (any, Outcome, error) {
-	start := time.Now()
+// The fill names each entry's own freshness lifetime (see TTLFill), so a
+// fast-moving source expires quickly while an archival one caches for
+// hours. The fill receives the leader's context; a coalesced caller
+// whose own context ends stops waiting and returns ctx.Err() while the
+// leader's fill keeps running. The returned value is shared — treat it
+// as read-only.
+func (c *Cache) DoTTL(ctx context.Context, key string, fill TTLFill) (any, Outcome, error) {
+	start := c.now()
 	if v, state := c.lookup(key); state == lookupFresh {
 		c.hits.Inc()
-		c.hitSeconds.Observe(time.Since(start))
+		c.hitSeconds.Observe(c.now().Sub(start))
 		return v, Hit, nil
 	} else if state == lookupStale {
 		c.stales.Inc()
 		c.refreshAsync(key, fill)
-		c.hitSeconds.Observe(time.Since(start))
+		c.hitSeconds.Observe(c.now().Sub(start))
 		return v, Stale, nil
 	}
 	v, shared, err := c.flight.Do(ctx, key, func() (any, error) {
@@ -199,20 +207,23 @@ func (c *Cache) Do(ctx context.Context, key string, fill func(context.Context) (
 			return nil, gerr
 		}
 		defer release()
-		v, ferr := fill(ctx)
+		v, ttl, ferr := fill(ctx)
 		if ferr == nil {
-			c.store(key, v)
+			c.put(key, v, ttl)
 		}
 		return v, ferr
 	}, c.coalesced.Inc)
 	if shared {
 		return v, Coalesced, err
 	}
+	// The miss counts when this caller ran the fill as leader — filled
+	// or failed — so hits+misses+stales+coalesced always equals the
+	// number of calls and hit-ratio math stays honest under errors.
+	c.misses.Inc()
 	if err != nil {
 		return nil, Filled, err
 	}
-	c.misses.Inc()
-	return v, Filled, err
+	return v, Filled, nil
 }
 
 // refreshAsync starts at most one background refresh for key. The
@@ -220,21 +231,29 @@ func (c *Cache) Do(ctx context.Context, key string, fill func(context.Context) (
 // long gone by the time it finishes) but still passes the admission
 // gate, so SWR refreshes cannot stampede an overloaded backend: a shed
 // refresh simply leaves the stale entry in service.
-func (c *Cache) refreshAsync(key string, fill func(context.Context) (any, error)) {
-	c.flight.Solo(key, func() (any, error) {
+func (c *Cache) refreshAsync(key string, fill TTLFill) {
+	c.flight.Solo(key, func() (v any, err error) {
+		// Every failed refresh — shed, error or panicking fill — counts
+		// in one place; the stale entry stays in service either way.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("qcache: refresh for key %q panicked: %v", key, r)
+			}
+			if err != nil {
+				c.refreshErr.Inc()
+			}
+		}()
 		ctx := context.Background()
-		release, err := c.gate.Acquire(ctx)
-		if err != nil {
-			c.refreshErr.Inc()
-			return nil, err
+		release, gerr := c.gate.Acquire(ctx)
+		if gerr != nil {
+			return nil, gerr
 		}
 		defer release()
-		v, err := fill(ctx)
-		if err != nil {
-			c.refreshErr.Inc()
-			return nil, err
+		v, ttl, ferr := fill(ctx)
+		if ferr != nil {
+			return nil, ferr
 		}
-		c.store(key, v)
+		c.put(key, v, ttl)
 		return v, nil
 	})
 }
@@ -249,19 +268,15 @@ func (c *Cache) Get(key string) (any, bool) {
 	return v, true
 }
 
-// Put stores val under key with the cache's TTL, unconditionally.
-func (c *Cache) Put(key string, val any) { c.store(key, val) }
+// Put stores val under key with the cache's Config.TTL, unconditionally.
+func (c *Cache) Put(key string, val any) { c.put(key, val, 0) }
 
-// Len reports the live entry count across all shards.
-func (c *Cache) Len() int {
-	n := 0
-	for _, s := range c.shards {
-		s.mu.Lock()
-		n += s.ll.Len()
-		s.mu.Unlock()
-	}
-	return n
-}
+// PutTTL stores val under key with its own freshness lifetime: ttl 0
+// takes Config.TTL, anything else is clamped to [TTLFloor, TTLCeiling].
+func (c *Cache) PutTTL(key string, val any, ttl time.Duration) { c.put(key, val, ttl) }
+
+// Len reports the live entry count in the backing store.
+func (c *Cache) Len() int { return c.storage.Len() }
 
 type lookupState int
 
@@ -271,71 +286,46 @@ const (
 	lookupStale
 )
 
-func (c *Cache) shard(key string) *shard {
-	return c.shards[fnv32a(key)&c.mask]
-}
-
-// lookup finds key, classifies its freshness, and touches (or expires)
-// it under the shard lock.
+// lookup finds key in the store and classifies its freshness.
 func (c *Cache) lookup(key string) (any, lookupState) {
 	now := c.now()
-	s := c.shard(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[key]
+	e, ok := c.storage.Get(key, now)
 	if !ok {
 		return nil, lookupMiss
 	}
-	e := el.Value.(*entry)
 	switch {
-	case !now.After(e.expires):
-		s.ll.MoveToFront(el)
-		return e.val, lookupFresh
-	case !now.After(e.staleUntil):
-		s.ll.MoveToFront(el)
-		return e.val, lookupStale
+	case !now.After(e.Expires):
+		return e.Val, lookupFresh
+	case !now.After(e.StaleUntil):
+		return e.Val, lookupStale
 	default:
-		s.ll.Remove(el)
-		delete(s.items, key)
-		c.entries.Add(-1)
+		// A store that does not prune dead entries itself still misses.
+		c.storage.Evict(key)
 		return nil, lookupMiss
 	}
 }
 
-// store inserts (or refreshes) key, evicting from the shard's LRU tail
-// past its capacity.
-func (c *Cache) store(key string, val any) {
+// put stores key for the clamped lifetime (see TTLFill for the ttl
+// contract), recording explicit lifetimes into the TTL histogram.
+func (c *Cache) put(key string, val any, ttl time.Duration) {
+	eff := c.effectiveTTL(ttl)
+	if ttl != 0 {
+		c.ttlSeconds.Observe(eff)
+	}
 	now := c.now()
-	e := &entry{key: key, val: val, expires: now.Add(c.ttl), staleUntil: now.Add(c.ttl + c.staleFor)}
-	s := c.shard(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		el.Value = e
-		s.ll.MoveToFront(el)
-		return
-	}
-	s.items[key] = s.ll.PushFront(e)
-	c.entries.Add(1)
-	for s.ll.Len() > c.perShard {
-		tail := s.ll.Back()
-		s.ll.Remove(tail)
-		delete(s.items, tail.Value.(*entry).key)
-		c.entries.Add(-1)
-		c.evictions.Inc()
-	}
+	c.storage.Put(key, Entry{Val: val, Expires: now.Add(eff), StaleUntil: now.Add(eff + c.staleFor)})
 }
 
-// fnv32a is the 32-bit FNV-1a hash, used only to pick a shard.
-func fnv32a(s string) uint32 {
-	const (
-		offset = 2166136261
-		prime  = 16777619
-	)
-	h := uint32(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= prime
+// effectiveTTL resolves one entry's lifetime: the fallback Config.TTL
+// for 0, the clamp to [floor, ceiling] for everything else.
+func (c *Cache) effectiveTTL(ttl time.Duration) time.Duration {
+	switch {
+	case ttl == 0:
+		return c.ttl
+	case ttl < c.floor:
+		return c.floor
+	case ttl > c.ceiling:
+		return c.ceiling
 	}
-	return h
+	return ttl
 }

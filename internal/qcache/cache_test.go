@@ -358,3 +358,187 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Per-entry lifetimes: a TTLFill's ttl is honored verbatim inside
+// [TTLFloor, TTLCeiling], clamped outside it, and 0 falls back to
+// Config.TTL.
+func TestPerEntryTTLClamping(t *testing.T) {
+	cases := []struct {
+		name string
+		ttl  time.Duration
+		want time.Duration // effective fresh lifetime
+	}{
+		{"fallback", 0, time.Minute},
+		{"in-bounds", 30 * time.Second, 30 * time.Second},
+		{"below-floor", 100 * time.Millisecond, time.Second},
+		{"negative-past-expiry", -5 * time.Minute, time.Second},
+		{"above-ceiling", 48 * time.Hour, 24 * time.Hour},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			c := New(Config{TTL: time.Minute, TTLFloor: time.Second, TTLCeiling: 24 * time.Hour,
+				StaleFor: -1, Now: clk.now})
+			ctx := context.Background()
+			_, out, err := c.DoTTL(ctx, "k", func(context.Context) (any, time.Duration, error) {
+				return "v", tc.ttl, nil
+			})
+			if err != nil || out != Filled {
+				t.Fatalf("DoTTL = %v, %v; want miss, nil", out, err)
+			}
+			// Just inside the expected lifetime: still fresh.
+			clk.advance(tc.want - time.Millisecond)
+			if _, ok := c.Get("k"); !ok {
+				t.Fatalf("entry expired before its %v lifetime", tc.want)
+			}
+			// Just past it: expired.
+			clk.advance(2 * time.Millisecond)
+			if _, ok := c.Get("k"); ok {
+				t.Fatalf("entry still fresh past its %v lifetime", tc.want)
+			}
+		})
+	}
+}
+
+// hits+misses+stales+coalesced must equal the number of Do calls even
+// when fills fail — the old code only counted misses on successful
+// fills, so every error silently skewed the hit ratio. The hit path must
+// also use the injected clock: under a fake clock that never advances
+// mid-call, the hit histogram observes only zeros.
+func TestCounterInvariantAndInjectedClock(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	c := New(Config{TTL: time.Minute, StaleFor: time.Hour, Metrics: reg, Now: clk.now})
+	ctx := context.Background()
+	calls := 0
+
+	do := func(key string, fill func(context.Context) (any, error)) Outcome {
+		calls++
+		_, out, _ := c.Do(ctx, key, fill)
+		return out
+	}
+
+	fillErr := func(context.Context) (any, error) { return nil, errors.New("backend down") }
+
+	if out := do("bad", fillErr); out != Filled { // failed fill: still a miss
+		t.Fatalf("failed fill outcome = %v, want miss", out)
+	}
+	if out := do("bad", fillErr); out != Filled { // errors are not cached: miss again
+		t.Fatalf("second failed fill outcome = %v, want miss", out)
+	}
+	do("k", fillConst("v"))           // miss
+	do("k", fillConst("v"))           // hit
+	do("k", fillConst("v"))           // hit
+	clk.advance(2 * time.Minute)      // expire k within the stale window
+	do("k", fillConst("v"))           // stale
+	// Coalescing: a second caller joins an in-flight fill.
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(ctx, "slow", func(context.Context) (any, error) {
+			close(enter)
+			<-release
+			return "v", nil
+		})
+	}()
+	<-enter
+	calls++ // the leader above
+	calls++ // the joiner below
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(ctx, "slow", fillConst("never runs"))
+	}()
+	// The coalesced counter increments synchronously at join, before the
+	// joiner blocks — wait for it so the leader provably finishes second.
+	for deadline := time.Now().Add(5 * time.Second); reg.Counter(obs.MQCacheCoalesced).Value() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never joined the in-flight fill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	hits := reg.Counter(obs.MQCacheHits).Value()
+	misses := reg.Counter(obs.MQCacheMisses).Value()
+	stales := reg.Counter(obs.MQCacheStale).Value()
+	coal := reg.Counter(obs.MQCacheCoalesced).Value()
+	if got := hits + misses + stales + coal; got != int64(calls) {
+		t.Fatalf("hits(%d)+misses(%d)+stales(%d)+coalesced(%d) = %d, want %d calls",
+			hits, misses, stales, coal, got, calls)
+	}
+	if misses != 4 { // bad, bad again, k, slow
+		t.Fatalf("misses = %d, want 4 (failed fills must count)", misses)
+	}
+	h := reg.Histogram(obs.MQCacheHitSeconds)
+	if h.Count() != hits+stales {
+		t.Fatalf("hit histogram observed %d serves, want %d", h.Count(), hits+stales)
+	}
+	if sum := h.Sum(); sum != 0 {
+		t.Fatalf("hit histogram sum = %v under a frozen injected clock, want 0 (wall clock leaked in)", sum)
+	}
+}
+
+// A stale-while-revalidate refresh racing LRU eviction of the same key:
+// churn evicts the stale entry while its background refresh is mid
+// flight. Under -race this locks the store/flight interaction; the
+// refresh must land (or lose) cleanly either way.
+func TestSWRRefreshRacesLRUEviction(t *testing.T) {
+	clk := newFakeClock()
+	// One shard, two slots: churn evicts "hot" almost immediately.
+	c := New(Config{MaxEntries: 2, Shards: 1, TTL: time.Minute, StaleFor: time.Hour, Now: clk.now})
+	ctx := context.Background()
+
+	for i := 0; i < 50; i++ {
+		if _, _, err := c.Do(ctx, "hot", fillConst(i)); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(2 * time.Minute) // expire "hot" into its stale window
+
+		refreshing := make(chan struct{})
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		// Serve stale, triggering the background refresh.
+		go func() {
+			defer wg.Done()
+			_, out, err := c.Do(ctx, "hot", func(context.Context) (any, error) {
+				close(refreshing)
+				<-done
+				return "refreshed", nil
+			})
+			if err != nil || out != Stale {
+				t.Errorf("iteration %d: stale Do = %v, %v", i, out, err)
+			}
+		}()
+		// Concurrently churn the tiny store so "hot" is LRU-evicted while
+		// the refresh is in flight.
+		go func() {
+			defer wg.Done()
+			<-refreshing
+			for j := 0; j < 8; j++ {
+				c.Put(fmt.Sprintf("churn-%d", j), j)
+			}
+			close(done)
+		}()
+		wg.Wait()
+		// The refresh goroutine is detached; wait for its put (or loss to
+		// churn) to settle before the next round so iterations don't bleed
+		// into each other.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if _, ok := c.Get("hot"); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				// Evicted by churn after the refresh landed — legal; the
+				// next iteration refills.
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}

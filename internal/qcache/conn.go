@@ -2,6 +2,8 @@ package qcache
 
 import (
 	"context"
+	"sync"
+	"time"
 
 	"starts/internal/meta"
 	"starts/internal/query"
@@ -38,10 +40,22 @@ type SourceConn interface {
 //
 // Cached results are shared between callers and must be treated as
 // read-only.
+//
+// Each cached result's lifetime comes from the source's own freshness
+// metadata: the Metadata pass-through remembers the latest DateChanged /
+// DateExpires, and Query derives a per-entry TTL from them with FreshFor
+// (clamped by the cache's TTLFloor/TTLCeiling). Before the first harvest
+// — or when the source declares neither date — entries fall back to the
+// cache's Config.TTL.
 type Conn struct {
 	inner SourceConn
 	cache *Cache
 	keyer Keyer
+
+	mu      sync.Mutex
+	seen    bool
+	changed time.Time
+	expires time.Time
 }
 
 var _ SourceConn = (*Conn)(nil)
@@ -56,9 +70,18 @@ func WrapConn(inner SourceConn, cache *Cache) *Conn {
 // SourceID implements client.Conn.
 func (c *Conn) SourceID() string { return c.inner.SourceID() }
 
-// Metadata implements client.Conn, passing through.
+// Metadata implements client.Conn, passing through while remembering the
+// source's freshness dates for Query's per-entry TTLs.
 func (c *Conn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
-	return c.inner.Metadata(ctx)
+	md, err := c.inner.Metadata(ctx)
+	if err == nil && md != nil {
+		c.mu.Lock()
+		c.seen = true
+		c.changed = md.DateChanged
+		c.expires = md.DateExpires
+		c.mu.Unlock()
+	}
+	return md, err
 }
 
 // Summary implements client.Conn, passing through.
@@ -72,15 +95,35 @@ func (c *Conn) Sample(ctx context.Context) ([]*source.SampleEntry, error) {
 }
 
 // Query implements client.Conn, serving repeated queries from the cache.
+// Each fill's entry lives as long as the source's freshness metadata says
+// it should (see the type comment).
 func (c *Conn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
 	if c.cache == nil {
 		return c.inner.Query(ctx, q)
 	}
-	v, _, err := c.cache.Do(ctx, c.keyer.Key(q), func(fctx context.Context) (any, error) {
-		return c.inner.Query(fctx, q)
+	v, _, err := c.cache.DoTTL(ctx, c.keyer.Key(q), func(fctx context.Context) (any, time.Duration, error) {
+		r, qerr := c.inner.Query(fctx, q)
+		return r, c.freshTTL(), qerr
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*result.Results), nil
+}
+
+// freshTTL derives the entry lifetime from the last harvested freshness
+// dates; 0 (the Config.TTL fallback) before any harvest or when the
+// source declares neither date.
+func (c *Conn) freshTTL() time.Duration {
+	c.mu.Lock()
+	seen, changed, expires := c.seen, c.changed, c.expires
+	c.mu.Unlock()
+	if !seen {
+		return 0
+	}
+	ttl, ok := FreshFor(changed, expires, c.cache.now())
+	if !ok {
+		return 0
+	}
+	return ttl
 }

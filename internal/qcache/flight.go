@@ -2,6 +2,7 @@ package qcache
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -23,6 +24,12 @@ type call struct {
 	err  error
 }
 
+// flightPanic carries a recovered panic value out of run so Do can
+// rethrow it on the leader after the call is unregistered.
+type flightPanic struct {
+	val any
+}
+
 func newFlightGroup() *flightGroup {
 	return &flightGroup{calls: map[string]*call{}}
 }
@@ -33,6 +40,10 @@ func newFlightGroup() *flightGroup {
 // fires synchronously the moment a caller joins an existing flight —
 // before it blocks — so coalescing is observable while the leader is
 // still running.
+//
+// A panicking fn is rethrown to the leader only — after the call is
+// unregistered and done is closed, so joiners receive it as the call's
+// error and the key is never wedged.
 func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error), onJoin func()) (any, bool, error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
@@ -51,18 +62,40 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
+	if p := g.run(key, c, fn); p != nil {
+		panic(p.val)
+	}
 	return c.val, false, c.err
+}
+
+// run executes fn into c and then — panic or not — removes the call
+// from the map and closes done, so waiters can never wedge on a key
+// whose leader died. A panic is recorded as the call's error and handed
+// back for the caller to rethrow (Do, on the leader) or swallow (Solo,
+// on a detached refresh goroutine).
+func (g *flightGroup) run(key string, c *call, fn func() (any, error)) (p *flightPanic) {
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			p = &flightPanic{val: r}
+			c.err = fmt.Errorf("qcache: flight for key %q: fill panicked: %v", key, r)
+		}
+	}()
+	c.val, c.err = fn()
+	return nil
 }
 
 // Solo runs fn under key on a new goroutine unless a call for key is
 // already in flight, in which case it does nothing. It backs
 // stale-while-revalidate refreshes: many stale serves trigger at most one
-// refresh, and a concurrent Do for the same key joins it.
+// refresh, and a concurrent Do for the same key joins it. A panicking fn
+// is recorded as the call's error and swallowed — crashing the process
+// from a background refresh is worse than a lost refresh.
 func (g *flightGroup) Solo(key string, fn func() (any, error)) {
 	g.mu.Lock()
 	if _, inFlight := g.calls[key]; inFlight {
@@ -74,10 +107,6 @@ func (g *flightGroup) Solo(key string, fn func() (any, error)) {
 	g.mu.Unlock()
 
 	go func() {
-		c.val, c.err = fn()
-		g.mu.Lock()
-		delete(g.calls, key)
-		g.mu.Unlock()
-		close(c.done)
+		_ = g.run(key, c, fn)
 	}()
 }

@@ -57,24 +57,42 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	if g == nil {
 		return func() {}, nil
 	}
+	// A dead request must never hold a fill slot: check the context
+	// before trying for a slot, and re-check after winning one — select
+	// picks among ready cases at random, so both the fast path and the
+	// queued path can otherwise grant a slot to an already-cancelled
+	// context and burn fill capacity under exactly the overload the gate
+	// exists to survive.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case g.sem <- struct{}{}:
-		g.queued.Add(1)
-		return g.release, nil
+		return g.granted(ctx)
 	default:
 	}
 	timer := time.NewTimer(g.timeout)
 	defer timer.Stop()
 	select {
 	case g.sem <- struct{}{}:
-		g.queued.Add(1)
-		return g.release, nil
+		return g.granted(ctx)
 	case <-timer.C:
 		g.shed.Inc()
 		return nil, fmt.Errorf("%w (waited %v)", ErrShed, g.timeout)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// granted finalizes a won slot, handing it straight back if the context
+// ended while the select was deciding.
+func (g *Gate) granted(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		<-g.sem
+		return nil, err
+	}
+	g.queued.Add(1)
+	return g.release, nil
 }
 
 func (g *Gate) release() {

@@ -1,0 +1,79 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"starts/internal/obs"
+)
+
+// An already-cancelled context must never be granted a slot. The old
+// fast path selected between the semaphore and nothing, and the queued
+// path selected among semaphore/timer/ctx.Done() — select picks among
+// ready cases at random, so a cancelled context could still win a slot
+// and burn fill capacity.
+func TestGateRefusesCancelledContext(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(4, time.Second, reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// The select race only misbehaves a fraction of the time; iterate so
+	// a regression cannot pass by luck.
+	for i := 0; i < 200; i++ {
+		release, err := g.Acquire(ctx)
+		if err == nil {
+			release()
+			t.Fatalf("iteration %d: cancelled context acquired a slot", i)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v; want context.Canceled", i, err)
+		}
+	}
+	if got := reg.Gauge(obs.MQCacheInflight).Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d after refused admissions, want 0", got)
+	}
+	// The gate must still have all its slots: a healthy caller fills it
+	// to capacity without shedding.
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		r, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("healthy Acquire %d failed: %v (slot leaked to a cancelled context?)", i, err)
+		}
+		releases = append(releases, r)
+	}
+	for _, r := range releases {
+		r()
+	}
+}
+
+// A context cancelled while queueing gets ctx.Err(), not a slot and not
+// an ErrShed.
+func TestGateCancelledWhileQueued(t *testing.T) {
+	g := NewGate(1, time.Minute, obs.NewRegistry())
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the acquirer reach the queue
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued Acquire err = %v; want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued Acquire did not return after cancellation")
+	}
+}

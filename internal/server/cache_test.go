@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -232,5 +233,50 @@ func TestQuerySheds(t *testing.T) {
 	pw.Close()
 	if err := <-slowDone; err != nil {
 		t.Fatalf("slow query failed: %v", err)
+	}
+}
+
+// TestCacheControlHeuristicFromDateChanged: a source declaring only
+// DateChanged gets a heuristic max-age — a tenth of the age since the
+// change, the same qcache.FreshFor rule the metasearcher uses for its
+// per-entry TTLs — instead of no-cache.
+func TestCacheControlHeuristicFromDateChanged(t *testing.T) {
+	ts, res := startTestServer(t)
+	src, _ := res.Source("Source-1")
+	src.Changed = time.Now().Add(-100 * time.Minute) // heuristic: ~10 minutes
+
+	resp, err := ts.Client().Get(ts.URL + "/sources/Source-1/metadata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	cc := resp.Header.Get("Cache-Control")
+	if !strings.HasPrefix(cc, "max-age=") {
+		t.Fatalf("Cache-Control = %q with DateChanged set, want a heuristic max-age", cc)
+	}
+	secs, err := strconv.Atoi(strings.TrimPrefix(cc, "max-age="))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int((100 * time.Minute / 10).Seconds())
+	if secs < want-5 || secs > want+5 {
+		t.Errorf("max-age = %ds, want ~%ds (age/10)", secs, want)
+	}
+}
+
+// TestCacheControlPastExpiry: a source already past its DateExpires must
+// serve no-cache, not a negative or zero max-age.
+func TestCacheControlPastExpiry(t *testing.T) {
+	ts, res := startTestServer(t)
+	src, _ := res.Source("Source-1")
+	src.Expires = time.Now().Add(-time.Hour)
+
+	resp, err := ts.Client().Get(ts.URL + "/sources/Source-1/metadata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("Cache-Control = %q past DateExpires, want no-cache", cc)
 	}
 }

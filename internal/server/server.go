@@ -258,16 +258,17 @@ func etagMatches(header, etag string) bool {
 	return false
 }
 
-// maxAge derives a Cache-Control lifetime from the source's metadata:
-// the time remaining until DateExpires, clamped to [0, one day]. Sources
-// without an expiry get 0 (serve with revalidation).
+// maxAge derives a Cache-Control lifetime from the source's freshness
+// metadata with the same rule the query cache uses for its per-entry
+// TTLs (qcache.FreshFor): the time remaining until DateExpires, or a
+// heuristic tenth of the age since DateChanged when only that is set —
+// clamped to [0, one day]. Sources declaring neither, or already past
+// their expiry, get 0 (serve with revalidation, which the ETag makes
+// cheap).
 func maxAge(src *source.Source) time.Duration {
-	exp := src.Metadata().DateExpires
-	if exp.IsZero() {
-		return 0
-	}
-	d := time.Until(exp)
-	if d < 0 {
+	md := src.Metadata()
+	d, ok := qcache.FreshFor(md.DateChanged, md.DateExpires, time.Now())
+	if !ok || d < 0 {
 		return 0
 	}
 	if d > 24*time.Hour {

@@ -244,6 +244,17 @@ type (
 	QueryCache = qcache.Cache
 	// QueryCacheConfig configures a QueryCache; its zero value is usable.
 	QueryCacheConfig = qcache.Config
+	// CacheStore is a QueryCache's pluggable storage backend; implement
+	// it to back the cache with anything from a plain map to a
+	// distributed store. Coalescing and the admission gate stay in front
+	// of any store.
+	CacheStore = qcache.Store
+	// CacheEntry is one stored value with its freshness bounds.
+	CacheEntry = qcache.Entry
+	// WarmEntry is one recorded workload item for cache warm starts.
+	WarmEntry = qcache.WarmEntry
+	// WarmStats reports one warm-start replay.
+	WarmStats = qcache.WarmStats
 )
 
 // ErrShed is returned (wrapped) when the cache's admission gate sheds a
@@ -254,6 +265,24 @@ var ErrShed = qcache.ErrShed
 // defaults: 4096 entries, 16 shards, one-minute TTL, stale window of
 // four TTLs, unbounded admission).
 func NewQueryCache(cfg QueryCacheConfig) *QueryCache { return qcache.New(cfg) }
+
+// NewLRUCacheStore returns the default sharded LRU store explicitly, for
+// composing a QueryCacheConfig.Store (e.g. wrapping it with logging).
+func NewLRUCacheStore(maxEntries, shards int, reg *MetricsRegistry) CacheStore {
+	return qcache.NewLRUStore(maxEntries, shards, reg)
+}
+
+// SaveWorkloadFile persists a recorded query workload
+// (Metasearcher.Workload) as JSON lines for replay after a restart.
+func SaveWorkloadFile(path string, entries []WarmEntry) error {
+	return qcache.SaveWorkloadFile(path, entries)
+}
+
+// LoadWorkloadFile reads a workload saved by SaveWorkloadFile, for
+// replaying with Metasearcher.Warm.
+func LoadWorkloadFile(path string) ([]WarmEntry, error) {
+	return qcache.LoadWorkloadFile(path)
+}
 
 // Observability.
 type (
