@@ -3,7 +3,7 @@
 GO      ?= go
 BINDIR  ?= /tmp/starts-bin
 
-.PHONY: build test vet race bench warm tier1 tier2 check cli clean
+.PHONY: build test vet race lint bench bench-dispatch warm tier1 tier2 check cli clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,15 @@ test:
 	$(GO) test ./...
 
 vet:
+	$(GO) vet ./...
+
+# lint fails on unformatted files (gofmt prints their names) and then
+# vets; it is the static half of tier2.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 race:
@@ -29,11 +38,18 @@ bench:
 warm:
 	$(GO) test -bench 'BenchmarkSearch(Cold|Cached|Warmed)$$' -benchmem -run '^$$' .
 
+# bench-dispatch runs the fan-out benchmarks at full benchtime: the
+# dispatched fan-out (concurrent identical queries coalescing at the
+# dispatch layer) next to the warm-start trio it is compared against in
+# BENCH_5.json.
+bench-dispatch:
+	$(GO) test -bench 'BenchmarkFanoutDispatched' -benchmem -run '^$$' .
+
 # tier1 is the repo's baseline gate: everything must always pass.
 tier1: build test
 
-# tier2 adds static analysis and the race detector.
-tier2: vet race
+# tier2 adds static analysis (lint = gofmt + vet) and the race detector.
+tier2: lint race
 
 check: tier1 tier2
 

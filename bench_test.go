@@ -331,6 +331,69 @@ func BenchmarkSearchWarmed(b *testing.B) {
 	b.ReportMetric(float64(warmElapsed.Nanoseconds()), "warm-replay-ns")
 }
 
+// BenchmarkFanoutDispatched is X11: concurrent clients issuing the same
+// query with the cache bypassed, so every deduplicated wire call is the
+// dispatch layer's doing — identical in-flight sub-queries coalesce into
+// one batch per source while per-source concurrency stays at its bound
+// (the starts_dispatch_inflight gauge; pinned by the core tests). The
+// batched fraction of all dispatch submissions is reported as
+// batched-ratio.
+//
+// "local" runs in-process sources, comparable to the sequential
+// BenchmarkSearchCold baseline; on few-core machines its wire calls are
+// pure CPU and finish before a second search can join, so its ratio can
+// round to zero. "wire-latency" adds 2ms of simulated per-call network
+// latency — the regime the paper's metasearcher actually operates in —
+// where concurrent searches pile onto in-flight calls and per-search
+// cost drops well below the per-call latency floor.
+func BenchmarkFanoutDispatched(b *testing.B) {
+	const wireLatency = 2 * time.Millisecond
+	bench := func(b *testing.B, mw []starts.ConnMiddleware) {
+		srcs := benchFleet(b, 5, 200, engine.TFIDF{}, engine.TopK{})
+		ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+			MaxSources:        3,
+			SourceConcurrency: 4,
+		})
+		for _, s := range srcs {
+			ms.Add(starts.ChainConn(starts.NewLocalConn(s, nil), mw...))
+		}
+		ctx := context.Background()
+		if err := ms.Harvest(ctx); err != nil {
+			b.Fatal(err)
+		}
+		q := benchQuery(b, `list((body-of-text "database") (body-of-text "patient"))`)
+		b.ReportAllocs()
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				ans, err := ms.Search(ctx, q, starts.WithNoCache())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ans.Documents) == 0 {
+					b.Fatal("empty answer")
+				}
+			}
+		})
+		b.StopTimer()
+		var submitted, batched int64
+		for _, st := range ms.DispatchStats() {
+			submitted += st.Submitted
+			batched += st.Batched
+		}
+		if submitted > 0 {
+			b.ReportMetric(float64(batched)/float64(submitted), "batched-ratio")
+		}
+	}
+	b.Run("local", func(b *testing.B) { bench(b, nil) })
+	b.Run("wire-latency", func(b *testing.B) {
+		bench(b, []starts.ConnMiddleware{
+			starts.FaultyMiddleware(starts.FaultConfig{Seed: 1, Latency: wireLatency}),
+		})
+	})
+}
+
 // BenchmarkEndToEndHTTP is X6: one query round trip over the HTTP
 // transport, including SOIF encoding on both sides.
 func BenchmarkEndToEndHTTP(b *testing.B) {

@@ -58,6 +58,8 @@ func main() {
 		faultRate       = flag.Float64("fault-rate", 0, "inject client-side faults: per-call error probability (testing)")
 		faultLatency    = flag.Duration("fault-latency", 0, "inject client-side faults: added per-call latency (testing)")
 		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection seed")
+		srcConcurrency  = flag.Int("source-concurrency", 0, "parallel wire calls per source (0 = default 4)")
+		srcQueue        = flag.Int("source-queue", 0, "queued batches per source before shedding with a fast error (0 = default 64)")
 		trace           = flag.Bool("trace", false, "print the search's span tree and a metrics snapshot to stderr")
 	)
 	flag.Parse()
@@ -87,7 +89,8 @@ func main() {
 	opts := starts.MetasearcherOptions{
 		Selector: sel, Merger: mrg, MaxSources: *maxSources,
 		Timeout: *timeout, PostFilter: *verify, Budget: *budget,
-		Metrics: reg,
+		Metrics:           reg,
+		SourceConcurrency: *srcConcurrency, QueueDepth: *srcQueue,
 	}
 	if *cacheSize > 0 || *maxInflight > 0 || *warmFile != "" {
 		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{

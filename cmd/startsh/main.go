@@ -18,6 +18,13 @@
 // -breaker-after/-breaker-cooldown (per-source circuit breaker, state
 // shown by stats), -budget (total deadline per search). With -trace,
 // every q/f command prints the search's span tree.
+//
+// Dispatch flags: -source-concurrency and -source-queue size each
+// source's worker pool and queue (stats shows the per-source dispatch
+// counters). With -warm-file, -warm-interval snapshots the workload
+// periodically instead of only on quit; -debug-addr serves /metrics,
+// /debug/workload and /debug/dispatch for inspection while the shell
+// runs.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -45,6 +53,10 @@ func main() {
 		maxInflight     = flag.Int("max-inflight", 0, "bound concurrent uncached fan-outs; excess queries are shed with a fast error (0 = unbounded; implies caching)")
 		warmFile        = flag.String("warm-file", "", "workload file: replay it through the cache on startup, and save this session's workload back to it on quit (implies caching)")
 		warmConcurrency = flag.Int("warm-concurrency", 0, "bound concurrent warm-start replays (0 = default)")
+		warmInterval    = flag.Duration("warm-interval", time.Minute, "snapshot the workload to -warm-file this often (and once on quit)")
+		srcConcurrency  = flag.Int("source-concurrency", 0, "parallel wire calls per source (0 = default 4)")
+		srcQueue        = flag.Int("source-queue", 0, "queued batches per source before shedding with a fast error (0 = default 64)")
+		debugAddr       = flag.String("debug-addr", "", "serve /metrics, /debug/workload and /debug/dispatch on this address (e.g. 127.0.0.1:6060)")
 		trace           = flag.Bool("trace", false, "print each q/f search's span tree")
 	)
 	flag.Parse()
@@ -55,7 +67,10 @@ func main() {
 	ctx := context.Background()
 	hc := starts.NewClient(nil)
 	reg := starts.NewMetricsRegistry()
-	opts := starts.MetasearcherOptions{Timeout: 15 * time.Second, Budget: *budget, Metrics: reg}
+	opts := starts.MetasearcherOptions{
+		Timeout: 15 * time.Second, Budget: *budget, Metrics: reg,
+		SourceConcurrency: *srcConcurrency, QueueDepth: *srcQueue,
+	}
 	if *cacheSize > 0 || *maxInflight > 0 || *warmFile != "" {
 		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{
 			MaxEntries: *cacheSize, TTL: *cacheTTL,
@@ -110,6 +125,23 @@ func main() {
 		}
 	}
 
+	// Periodic workload snapshots: a crash loses at most -warm-interval
+	// of the hot set instead of the whole session.
+	var saverDone <-chan struct{}
+	saveCtx, stopSaver := context.WithCancel(ctx)
+	defer stopSaver()
+	if *warmFile != "" {
+		saverDone = ms.StartWorkloadSaver(saveCtx, *warmFile, *warmInterval)
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, ms.DebugHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "startsh: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug endpoints on http://%s/metrics /debug/workload /debug/dispatch\n", *debugAddr)
+	}
+
 	sh := &shell{ms: ms, ctx: ctx, br: br, reg: reg, trace: *trace}
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("starts> ")
@@ -124,10 +156,11 @@ func main() {
 		fmt.Print("starts> ")
 	}
 	fmt.Println()
-	if *warmFile != "" {
-		if err := starts.SaveWorkloadFile(*warmFile, ms.Workload()); err != nil {
-			fmt.Fprintf(os.Stderr, "startsh: saving warm file: %v\n", err)
-		}
+	if saverDone != nil {
+		// Stopping the saver triggers its final save; wait for it so the
+		// session's last queries make it into the warm file.
+		stopSaver()
+		<-saverDone
 	}
 }
 
@@ -236,6 +269,10 @@ func (s *shell) dispatch(line string) {
 			}
 			fmt.Printf("  %-24s queries=%d failures=%d mean-latency=%v%s\n",
 				e.ID, e.Stats.Queries, e.Stats.Failures, e.Stats.MeanLatency.Round(time.Millisecond), circuit)
+		}
+		for _, d := range s.ms.DispatchStats() {
+			fmt.Printf("  %-24s dispatch: submitted=%d batched=%d inflight=%d/%d queued=%d/%d shed=%d refused=%d\n",
+				d.Source, d.Submitted, d.Batched, d.Inflight, d.Workers, d.Depth, d.QueueCap, d.QueueFull, d.Refused)
 		}
 		fmt.Print(s.reg.Render())
 	default:

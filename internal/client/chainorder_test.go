@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"starts/internal/client"
+	"starts/internal/dispatch"
 	"starts/internal/meta"
 	"starts/internal/obs"
 	"starts/internal/qcache"
@@ -142,4 +143,128 @@ func TestChainOrderWithCache(t *testing.T) {
 			}
 		})
 	}
+}
+
+// gatedConn parks every Query until release closes, counting the calls
+// that reach it — the knob for holding a dispatch batch open while more
+// callers join it.
+type gatedConn struct {
+	flakyConn
+	calls   atomic.Int64
+	release chan struct{}
+}
+
+func (g *gatedConn) Query(ctx context.Context, _ *query.Query) (*result.Results, error) {
+	g.calls.Add(1)
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &result.Results{}, nil
+}
+
+// TestChainOrderWithDispatch pins where the dispatching middleware
+// belongs: OUTSIDE the cache (so concurrent identical misses coalesce
+// into one batch before they can stampede the fill) and INSIDE the
+// observer (so coalesced calls still count). It also pins — by compiling
+// — that dispatch.WrapConn satisfies client.Conn structurally.
+func TestChainOrderWithDispatch(t *testing.T) {
+	policy := resilient.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1}
+
+	// observe(dispatch(cache(retry(conn)))): sequential traffic behaves
+	// exactly as without dispatch — batches of one, retries inside one
+	// cache entry, the hit never reaching the source.
+	t.Run("sequential", func(t *testing.T) {
+		src := &flakyConn{}
+		reg := obs.NewRegistry()
+		cache := qcache.New(qcache.Config{Metrics: reg})
+		d := dispatch.New(dispatch.Config{})
+		defer d.Close()
+		conn := client.Chain(src,
+			func(c client.Conn) client.Conn { return resilient.Wrap(c, policy, nil) },
+			func(c client.Conn) client.Conn { return qcache.WrapConn(c, cache) },
+			func(c client.Conn) client.Conn { return dispatch.WrapConn(c, d, dispatch.Limits{}) },
+			func(c client.Conn) client.Conn { return obs.WrapConn(c, reg) },
+		)
+		q := query.New()
+		r, err := query.ParseRanking(`list((any "databases"))`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Ranking = r
+		for i := 0; i < 2; i++ {
+			if _, err := conn.Query(context.Background(), q); err != nil {
+				t.Fatalf("query %d: %v", i+1, err)
+			}
+		}
+		if got := src.attempts.Load(); got != 2 {
+			t.Errorf("source attempts = %d, want 2 (one retried miss, one cache hit)", got)
+		}
+		if got := reg.Counter(obs.L("starts_conn_calls_total", "source", "S", "op", "query")).Value(); got != 2 {
+			t.Errorf("observed queries = %d, want 2", got)
+		}
+		for _, st := range d.Snapshot() {
+			if st.Source == "S" && st.Batched != 0 {
+				t.Errorf("sequential traffic batched %d calls, want 0", st.Batched)
+			}
+		}
+	})
+
+	// The payoff: N concurrent identical queries coalesce into ONE wire
+	// call (and one cache fill) at the dispatch layer.
+	t.Run("concurrent-coalescing", func(t *testing.T) {
+		const callers = 8
+		src := &gatedConn{release: make(chan struct{})}
+		reg := obs.NewRegistry()
+		cache := qcache.New(qcache.Config{Metrics: reg})
+		d := dispatch.New(dispatch.Config{})
+		defer d.Close()
+		conn := client.Chain(src,
+			func(c client.Conn) client.Conn { return resilient.Wrap(c, policy, nil) },
+			func(c client.Conn) client.Conn { return qcache.WrapConn(c, cache) },
+			func(c client.Conn) client.Conn { return dispatch.WrapConn(c, d, dispatch.Limits{}) },
+			func(c client.Conn) client.Conn { return obs.WrapConn(c, reg) },
+		)
+		q := query.New()
+		r, err := query.ParseRanking(`list((any "databases"))`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Ranking = r
+
+		errs := make(chan error, callers)
+		for i := 0; i < callers; i++ {
+			go func() {
+				_, err := conn.Query(context.Background(), q)
+				errs <- err
+			}()
+		}
+		// Release the gate only once all callers sit on the batch: one led,
+		// the rest joined while its wire call was parked.
+		deadline := time.Now().Add(2 * time.Second)
+		for submitted := int64(0); submitted < callers && time.Now().Before(deadline); {
+			submitted = 0
+			for _, st := range d.Snapshot() {
+				if st.Source == "S" {
+					submitted = st.Submitted
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(src.release)
+		for i := 0; i < callers; i++ {
+			if err := <-errs; err != nil {
+				t.Fatalf("caller %d: %v", i, err)
+			}
+		}
+		if got := src.calls.Load(); got != 1 {
+			t.Errorf("wire calls = %d, want 1 for %d concurrent identical queries", got, callers)
+		}
+		for _, st := range d.Snapshot() {
+			if st.Source == "S" && st.Batched != callers-1 {
+				t.Errorf("batched = %d, want %d", st.Batched, callers-1)
+			}
+		}
+	})
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"starts/internal/client"
+	"starts/internal/dispatch"
 	"starts/internal/gloss"
 	"starts/internal/merge"
 	"starts/internal/meta"
@@ -66,6 +67,17 @@ type Options struct {
 	// provides one; WithNoCache bypasses it per query. Cached answers
 	// are shared between callers — treat them as read-only.
 	Cache *qcache.Cache
+	// SourceConcurrency bounds how many wire calls one source serves at
+	// once: every per-source call (queries, harvests, warm replays, SWR
+	// refreshes) flows through the metasearcher's dispatch layer, where
+	// each source owns this many workers. 0 takes
+	// dispatch.DefaultConcurrency. A source's queue is sized on its
+	// first contact; later per-search overrides do not resize it.
+	SourceConcurrency int
+	// QueueDepth bounds how many batches may wait per source before
+	// submissions are shed with a typed dispatch.ErrQueueFull (surfaced
+	// in the per-source outcome). 0 takes dispatch.DefaultQueueDepth.
+	QueueDepth int
 	// Now overrides the clock, for cache-expiry tests.
 	Now func() time.Time
 }
@@ -80,9 +92,10 @@ type Metasearcher struct {
 	order   []string
 	entries map[string]*entry
 
-	stats    *statsBook
-	metrics  *obs.Registry
-	workload *qcache.Recorder
+	stats      *statsBook
+	metrics    *obs.Registry
+	workload   *qcache.Recorder
+	dispatcher *dispatch.Dispatcher
 }
 
 // BreakerGate admits or refuses traffic to sources. It is satisfied by
@@ -125,6 +138,15 @@ func New(opts Options) *Metasearcher {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
+	// Breakers that can report their open state (resilient.Breaker can)
+	// become the dispatcher's Refuse hook: batches queued for an open
+	// source resolve immediately with dispatch.ErrRefused instead of
+	// timing out one waiter at a time. The check is read-only, so it
+	// cannot consume a half-open probe slot.
+	var refuse func(string) bool
+	if op, ok := opts.Breaker.(interface{ Open(id string) bool }); ok {
+		refuse = op.Open
+	}
 	return &Metasearcher{
 		opts:     opts,
 		conns:    map[string]client.Conn{},
@@ -132,8 +154,27 @@ func New(opts Options) *Metasearcher {
 		stats:    newStatsBook(),
 		metrics:  opts.Metrics,
 		workload: qcache.NewRecorder(0),
+		dispatcher: dispatch.New(dispatch.Config{
+			Limits:  dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth},
+			Refuse:  refuse,
+			Metrics: opts.Metrics,
+			Now:     opts.Now,
+		}),
 	}
 }
+
+// Dispatcher returns the per-source dispatch layer all of this
+// metasearcher's source traffic flows through.
+func (m *Metasearcher) Dispatcher() *dispatch.Dispatcher { return m.dispatcher }
+
+// DispatchStats reports every source queue's dispatch state and
+// counters, sorted by source ID.
+func (m *Metasearcher) DispatchStats() []dispatch.QueueStat { return m.dispatcher.Snapshot() }
+
+// Close stops the dispatch layer: queued work drains, new searches fail
+// with dispatch.ErrClosed. Call it when discarding a metasearcher whose
+// process keeps running, so per-source workers do not linger.
+func (m *Metasearcher) Close() { m.dispatcher.Close() }
 
 // Metrics returns the registry this metasearcher records into.
 func (m *Metasearcher) Metrics() *obs.Registry { return m.metrics }
@@ -203,10 +244,14 @@ func (m *Metasearcher) expired(e *entry) bool {
 }
 
 // Harvest fetches metadata and content summaries for every source whose
-// cached copy is missing or expired (per its DateExpires), concurrently.
-// It returns the first error encountered, after attempting all sources.
+// cached copy is missing or expired (per its DateExpires), concurrently
+// through the dispatch layer. It returns the first error encountered,
+// after attempting all sources.
 func (m *Metasearcher) Harvest(ctx context.Context) error {
-	for _, err := range m.harvestAll(ctx) {
+	m.mu.RLock()
+	lim := dispatch.Limits{Concurrency: m.opts.SourceConcurrency, QueueDepth: m.opts.QueueDepth}
+	m.mu.RUnlock()
+	for _, err := range m.harvestAll(ctx, lim) {
 		if err != nil {
 			return err
 		}
@@ -215,8 +260,11 @@ func (m *Metasearcher) Harvest(ctx context.Context) error {
 }
 
 // harvestAll refreshes every stale source and returns the per-source
-// errors; healthy sources are cached regardless of their siblings.
-func (m *Metasearcher) harvestAll(ctx context.Context) map[string]error {
+// errors; healthy sources are cached regardless of their siblings. Each
+// refresh is submitted to the source's dispatch queue under the key
+// "harvest", so concurrent searches that both find a source stale share
+// one harvest instead of racing duplicate fetches at it.
+func (m *Metasearcher) harvestAll(ctx context.Context, lim dispatch.Limits) map[string]error {
 	m.mu.RLock()
 	total := len(m.order)
 	var stale []string
@@ -229,20 +277,29 @@ func (m *Metasearcher) harvestAll(ctx context.Context) map[string]error {
 	m.metrics.Counter("starts_harvest_cache_hits_total").Add(int64(total - len(stale)))
 	m.metrics.Counter("starts_harvest_cache_misses_total").Add(int64(len(stale)))
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(stale))
-	for i, id := range stale {
-		wg.Add(1)
-		go func(i int, id string) {
-			defer wg.Done()
-			errs[i] = m.harvestOne(ctx, id)
-		}(i, id)
-	}
-	wg.Wait()
 	out := map[string]error{}
-	for i, id := range stale {
-		if errs[i] != nil {
-			out[id] = errs[i]
+	tickets := make(map[string]*dispatch.Ticket, len(stale))
+	for _, id := range stale {
+		id := id
+		t, err := m.dispatcher.Submit(ctx, id, "harvest", lim,
+			func(tctx context.Context) (any, error) {
+				return nil, m.harvestOne(tctx, id)
+			})
+		if err != nil {
+			out[id] = err
+			continue
+		}
+		tickets[id] = t
+	}
+	// All submitted harvests run concurrently on their sources' workers;
+	// waiting for them in turn costs only the slowest one.
+	for _, id := range stale {
+		t := tickets[id]
+		if t == nil {
+			continue
+		}
+		if _, err := t.Wait(ctx); err != nil {
+			out[id] = err
 		}
 	}
 	return out
@@ -421,9 +478,11 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...Sear
 	defer tr.Finish()
 	ctx = obs.WithTrace(obs.WithMetrics(ctx, m.metrics), tr)
 	m.metrics.Counter("starts_searches_total").Inc()
-	searchStart := time.Now()
+	// The injected clock times the search too, so frozen-clock freshness
+	// tests observe deterministic (zero) latencies instead of real ones.
+	searchStart := opts.Now()
 	defer func() {
-		m.metrics.Histogram("starts_search_seconds").Observe(time.Since(searchStart))
+		m.metrics.Histogram("starts_search_seconds").Observe(opts.Now().Sub(searchStart))
 	}()
 
 	cache := opts.Cache
@@ -447,22 +506,7 @@ func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query
 	key := m.cacheKey(q, opts)
 	csp.Annotate("key", key)
 	m.recordWorkload(key, q)
-	fill := func(fctx context.Context) (any, time.Duration, error) {
-		if obs.TraceFrom(fctx) == nil {
-			// Background stale-while-revalidate refresh: the triggering
-			// request's trace is long finished, so the refresh runs
-			// under its own private trace and the shared registry.
-			ftr := obs.NewTrace("refresh " + describeQuery(q))
-			defer ftr.Finish()
-			fctx = obs.WithTrace(obs.WithMetrics(fctx, m.metrics), ftr)
-		}
-		ans, err := m.run(fctx, q, opts)
-		if err != nil {
-			return nil, 0, err
-		}
-		return ans, m.answerTTL(ans, opts), nil
-	}
-	v, outcome, err := cache.DoTTL(ctx, key, fill)
+	v, outcome, err := cache.DoTTL(ctx, key, m.fillFor(q, opts))
 	csp.Annotate("outcome", outcome.String())
 	csp.End(err)
 	if err != nil {
@@ -475,6 +519,30 @@ func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query
 		return ans, nil
 	}
 	return ans.cachedCopy(tr, outcome == qcache.Stale), nil
+}
+
+// fillFor builds the cache fill that runs the full pipeline for q under
+// opts and names the answer's own lifetime. It is shared by the
+// cache-fronted Search path, its stale-while-revalidate refreshes, and
+// the proactive refresher — every one of them fans out through the
+// dispatch layer, so background refreshes respect the same per-source
+// bounds as foreground searches.
+func (m *Metasearcher) fillFor(q *query.Query, opts Options) qcache.TTLFill {
+	return func(fctx context.Context) (any, time.Duration, error) {
+		if obs.TraceFrom(fctx) == nil {
+			// Background refresh: the triggering request's trace is long
+			// finished, so the refresh runs under its own private trace
+			// and the shared registry.
+			ftr := obs.NewTrace("refresh " + describeQuery(q))
+			defer ftr.Finish()
+			fctx = obs.WithTrace(obs.WithMetrics(fctx, m.metrics), ftr)
+		}
+		ans, err := m.run(fctx, q, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ans, m.answerTTL(ans, opts), nil
+	}
 }
 
 // answerTTL derives a merged answer's cache lifetime from the freshness
@@ -635,7 +703,8 @@ func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options) (*
 	// Best-effort harvesting: an unreachable source must not block the
 	// healthy ones; its error is recorded in the answer instead.
 	hsp := tr.StartSpan("harvest")
-	harvestErrs := m.harvestAll(obs.WithSpan(ctx, hsp))
+	harvestErrs := m.harvestAll(obs.WithSpan(ctx, hsp),
+		dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth})
 	hsp.Annotate("errors", strconv.Itoa(len(harvestErrs)))
 	hsp.End(nil)
 
@@ -866,8 +935,13 @@ func (m *Metasearcher) translateAll(tr *obs.Trace, q *query.Query, ids []string)
 	return plans
 }
 
-// fanOut queries the planned sources concurrently under the per-source
-// timeout, each under its own child span of the "fanout" stage.
+// fanOut queries the planned sources through the dispatch layer, each
+// under its own child span of the "fanout" stage. Ownership of the
+// concurrency is inverted from the pre-dispatch design: the wire calls
+// run on each source's bounded worker pool (where identical sub-queries
+// from concurrent searches coalesce into one call), and this search only
+// keeps one cheap waiter goroutine per source so every query span ends
+// at its true completion time.
 func (m *Metasearcher) fanOut(ctx context.Context, ids []string, plans map[string]*sourcePlan, opts Options) map[string]*SourceOutcome {
 	fsp := obs.TraceFrom(ctx).StartSpan("fanout")
 	defer fsp.End(nil)
@@ -889,6 +963,15 @@ func (m *Metasearcher) fanOut(ctx context.Context, ids []string, plans map[strin
 	return outcomes
 }
 
+// batchKey fingerprints one translated sub-query for cross-search
+// coalescing: identical in-flight queries destined for the same source
+// share one wire call. Hashing the translated (not the original) query
+// means two different user queries that translate identically for a
+// source still coalesce.
+func batchKey(id string, sent *query.Query) string {
+	return qcache.Keyer{Scope: "dispatch/" + id}.Key(sent)
+}
+
 func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan, opts Options) *SourceOutcome {
 	oc := &SourceOutcome{Stale: plan.stale, Sent: plan.sent, Report: plan.report}
 	if plan.err != nil {
@@ -900,13 +983,61 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 	if plan.stale {
 		sp.Annotate("stale", "true")
 	}
-	cctx, cancel := context.WithTimeout(obs.WithSpan(ctx, sp), opts.Timeout)
-	defer cancel()
-	start := time.Now()
-	res, err := plan.conn.Query(cctx, plan.sent)
-	oc.Elapsed = time.Since(start)
+	// The wire call runs on the source's dispatch workers, not on this
+	// goroutine; the dispatch child span records the queueing side of the
+	// call (coalescing, queue wait) separately from the source's answer.
+	dsp := sp.Child("dispatch")
+	dsp.SetSource(id)
+	conn, sent, timeout := plan.conn, plan.sent, opts.Timeout
+	start := opts.Now()
+	ticket, err := m.dispatcher.Submit(obs.WithSpan(ctx, sp), id, batchKey(id, sent),
+		dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth},
+		func(tctx context.Context) (any, error) {
+			// The per-source Timeout bounds the wire call itself; the
+			// waiters' contexts only bound their willingness to wait.
+			qctx, cancel := context.WithTimeout(tctx, timeout)
+			defer cancel()
+			return conn.Query(qctx, sent)
+		})
+	var res *result.Results
+	led := true
+	if err == nil {
+		// The waiter honors the same per-source deadline the direct call
+		// had — covering queue wait plus run — and the search's own
+		// context (budget, cancellation). Abandoning the wait unregisters
+		// this waiter; the wire call is cancelled once nobody waits.
+		wctx, cancel := context.WithTimeout(ctx, timeout)
+		v, werr := ticket.Wait(wctx)
+		cancel()
+		err = werr
+		led = ticket.Led()
+		if v != nil {
+			res = v.(*result.Results)
+		}
+		if d := ticket.RunFor(); d > 0 {
+			oc.Elapsed = d // the shared wire call's own duration
+		}
+		dsp.Annotate("coalesced", strconv.FormatBool(!led))
+		if n := ticket.Fanout(); n > 1 {
+			dsp.Annotate("fanout", strconv.Itoa(n))
+		}
+	}
+	if oc.Elapsed == 0 {
+		oc.Elapsed = opts.Now().Sub(start)
+	}
+	// Dispatch-level failures (shed, fast-drained, closed) end the
+	// dispatch span; wire failures belong to the query span only.
+	if errors.Is(err, dispatch.ErrQueueFull) || errors.Is(err, dispatch.ErrRefused) || errors.Is(err, dispatch.ErrClosed) {
+		dsp.End(err)
+	} else {
+		dsp.End(nil)
+	}
 	sp.End(err)
-	if opts.Breaker != nil {
+	// Only the batch leader reports to the breaker: N coalesced waiters
+	// observed one wire call, and dispatch-level shedding or refusal says
+	// nothing new about the source's health.
+	if opts.Breaker != nil && led &&
+		!errors.Is(err, dispatch.ErrQueueFull) && !errors.Is(err, dispatch.ErrRefused) {
 		opts.Breaker.Record(id, err)
 	}
 	m.metrics.Counter(obs.L("starts_source_queries_total", "source", id)).Inc()
@@ -916,6 +1047,13 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 		m.stats.record(id, oc.Elapsed, true, 0)
 		m.metrics.Counter(obs.L("starts_source_query_errors_total", "source", id)).Inc()
 		return oc
+	}
+	if ticket.Fanout() > 1 {
+		// The batch served several waiters, so the Results value is
+		// shared across searches; rank merging mutates documents (source
+		// attributions, best-score promotion), so each waiter gets its
+		// own copy.
+		res = res.Clone()
 	}
 	oc.Results = res
 	sp.Annotate("docs", strconv.Itoa(len(res.Documents)))

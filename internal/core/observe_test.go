@@ -68,9 +68,21 @@ func TestSearchTraceFanOut(t *testing.T) {
 			}
 		}
 	}
-	// 5 stages + 4 harvests + 3 translations + 3 queries.
-	if got := ti.SpanCount(); got != 15 {
-		t.Errorf("SpanCount = %d, want 15", got)
+	// 5 stages + 4 harvests + 3 translations + 3 queries + 3 dispatch
+	// children (one per query span, recording the queueing side of the
+	// wire call).
+	if got := ti.SpanCount(); got != 18 {
+		t.Errorf("SpanCount = %d, want 18", got)
+	}
+	for _, id := range []string{"cs", "archive", "broken"} {
+		qs := ti.Find("query " + id)
+		if qs == nil || len(qs.Children) != 1 || qs.Children[0].Name != "dispatch" {
+			t.Errorf("query %s children = %+v, want one dispatch span", id, qs)
+			continue
+		}
+		if co, ok := qs.Children[0].Attr("coalesced"); !ok || co != "false" {
+			t.Errorf("query %s dispatch coalesced = %q %v, want \"false\"", id, co, ok)
+		}
 	}
 
 	if sp := ti.Find("query broken"); sp == nil || !strings.Contains(sp.Err, "source down") {
@@ -97,8 +109,8 @@ func TestSearchTraceFanOut(t *testing.T) {
 	if _, err := ms.Search(context.Background(), q, WithTrace(&tr)); err != nil {
 		t.Fatal(err)
 	}
-	if got := tr.Snapshot().SpanCount(); got != 11 {
-		t.Errorf("reused trace SpanCount = %d, want 11", got)
+	if got := tr.Snapshot().SpanCount(); got != 14 {
+		t.Errorf("reused trace SpanCount = %d, want 14", got)
 	}
 }
 

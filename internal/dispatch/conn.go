@@ -1,0 +1,116 @@
+package dispatch
+
+import (
+	"context"
+
+	"starts/internal/meta"
+	"starts/internal/qcache"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/source"
+)
+
+// SourceConn is the source-connection interface the dispatching
+// middleware wraps. It is structurally identical to client.Conn (and
+// qcache.SourceConn); dispatch declares its own copy so the dependency
+// keeps pointing outward.
+type SourceConn interface {
+	SourceID() string
+	Metadata(ctx context.Context) (*meta.SourceMeta, error)
+	Summary(ctx context.Context) (*meta.ContentSummary, error)
+	Sample(ctx context.Context) ([]*source.SampleEntry, error)
+	Query(ctx context.Context, q *query.Query) (*result.Results, error)
+}
+
+// Conn routes every call on a source connection through a Dispatcher:
+// calls queue per source, run on the source's bounded workers, and
+// identical in-flight calls coalesce into one. Compose it as the
+// outermost structural layer — outside the per-source cache, so
+// concurrent identical misses (and harvests) are deduplicated before
+// they can stampede anything below.
+type Conn struct {
+	inner SourceConn
+	d     *Dispatcher
+	lim   Limits
+	keyer qcache.Keyer
+}
+
+// WrapConn wraps inner so its traffic flows through d under the source's
+// limits (zero Limits fields take the dispatcher's defaults).
+func WrapConn(inner SourceConn, d *Dispatcher, lim Limits) *Conn {
+	return &Conn{
+		inner: inner,
+		d:     d,
+		lim:   lim,
+		keyer: qcache.Keyer{Scope: "dispatch/" + inner.SourceID()},
+	}
+}
+
+// SourceID identifies the wrapped source.
+func (c *Conn) SourceID() string { return c.inner.SourceID() }
+
+// do submits one call and waits for its (possibly shared) result.
+func (c *Conn) do(ctx context.Context, key string, fn Task) (any, error) {
+	t, err := c.d.Submit(ctx, c.inner.SourceID(), key, c.lim, fn)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait(ctx)
+}
+
+// Metadata fetches the source's metadata; concurrent fetches coalesce.
+func (c *Conn) Metadata(ctx context.Context) (*meta.SourceMeta, error) {
+	v, err := c.do(ctx, "metadata", func(tctx context.Context) (any, error) {
+		return c.inner.Metadata(tctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*meta.SourceMeta), nil
+}
+
+// Summary fetches the source's content summary; concurrent fetches
+// coalesce.
+func (c *Conn) Summary(ctx context.Context) (*meta.ContentSummary, error) {
+	v, err := c.do(ctx, "summary", func(tctx context.Context) (any, error) {
+		return c.inner.Summary(tctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*meta.ContentSummary), nil
+}
+
+// Sample fetches the source's sample-database results; concurrent
+// fetches coalesce.
+func (c *Conn) Sample(ctx context.Context) ([]*source.SampleEntry, error) {
+	v, err := c.do(ctx, "sample", func(tctx context.Context) (any, error) {
+		return c.inner.Sample(tctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*source.SampleEntry), nil
+}
+
+// Query evaluates q at the source. Identical in-flight queries (by
+// canonical fingerprint) share one wire call; a shared result is cloned
+// per waiter because rank merging mutates documents.
+func (c *Conn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	t, err := c.d.Submit(ctx, c.inner.SourceID(), c.keyer.Key(q), c.lim,
+		func(tctx context.Context) (any, error) {
+			return c.inner.Query(tctx, q)
+		})
+	if err != nil {
+		return nil, err
+	}
+	v, err := t.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*result.Results)
+	if t.Fanout() > 1 {
+		res = res.Clone()
+	}
+	return res, nil
+}

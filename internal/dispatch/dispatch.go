@@ -1,0 +1,492 @@
+// Package dispatch owns all per-source traffic of a metasearcher: one
+// bounded work queue plus worker pool per source, with cross-search
+// batching that coalesces identical in-flight sub-queries destined for
+// the same source into a single wire call whose result is fanned back to
+// every waiter.
+//
+// The paper's metasearcher model (Figure 1) puts one logical channel
+// between the metasearcher and each source; before this package the core
+// spawned a fresh goroutine per (query, source) pair, so a slow source
+// accumulated unbounded in-flight work and identical sub-queries were
+// sent redundantly. The dispatcher inverts that ownership: each source
+// owns a fixed set of workers, searches merely submit work and wait on a
+// Ticket. Submission is non-blocking — a full queue sheds with a typed
+// ErrQueueFull instead of queueing without bound — and a Refuse hook
+// lets a circuit breaker fast-drain the queue of an open source instead
+// of timing out each waiter.
+//
+// Batching reuses the qcache singleflight shape (pending map, done
+// channel, delete-before-close) one level below the answer cache: keys
+// are per-source fingerprints of the translated sub-query, so two
+// different user queries that translate identically for a source still
+// share one wire call.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starts/internal/obs"
+)
+
+// Default per-source bounds, used when Limits leave a field zero.
+const (
+	// DefaultConcurrency is the default worker count per source.
+	DefaultConcurrency = 4
+	// DefaultQueueDepth is the default bound on batches waiting per
+	// source before Submit sheds with ErrQueueFull.
+	DefaultQueueDepth = 64
+)
+
+// Typed dispatch failures, detectable with errors.Is.
+var (
+	// ErrQueueFull is returned by Submit when a source's queue is at its
+	// depth bound; the caller was shed without blocking.
+	ErrQueueFull = errors.New("dispatch: source queue full")
+	// ErrRefused resolves a batch whose source's Refuse hook reported it
+	// unavailable (typically a circuit breaker in the open state): the
+	// queue drains fast instead of timing out each waiter.
+	ErrRefused = errors.New("dispatch: source refused")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("dispatch: dispatcher closed")
+)
+
+// Task is one unit of per-source work: typically a single wire call. It
+// runs on a source-owned worker goroutine under a batch context that
+// carries the submitting leader's trace and metrics but detaches its
+// cancellation; the context ends early only when every waiter has
+// abandoned the batch.
+type Task func(ctx context.Context) (any, error)
+
+// Limits bound one source's queue: how many workers serve it and how
+// many batches may wait. Zero fields take the dispatcher's configured
+// defaults (and ultimately DefaultConcurrency/DefaultQueueDepth). A
+// source's queue is created on first submit with the limits in effect
+// then; later submits with different limits do not resize it.
+type Limits struct {
+	// Concurrency is the worker count: the hard bound on the source's
+	// in-flight wire calls.
+	Concurrency int
+	// QueueDepth bounds batches waiting for a worker.
+	QueueDepth int
+}
+
+// withDefaults fills zero fields from fallback, then from the package
+// defaults.
+func (l Limits) withDefaults(fallback Limits) Limits {
+	if l.Concurrency <= 0 {
+		l.Concurrency = fallback.Concurrency
+	}
+	if l.Concurrency <= 0 {
+		l.Concurrency = DefaultConcurrency
+	}
+	if l.QueueDepth <= 0 {
+		l.QueueDepth = fallback.QueueDepth
+	}
+	if l.QueueDepth <= 0 {
+		l.QueueDepth = DefaultQueueDepth
+	}
+	return l
+}
+
+// Config configures a Dispatcher. The zero value is usable.
+type Config struct {
+	// Limits are the per-source defaults for queues whose Submit passes
+	// zero Limits fields.
+	Limits Limits
+	// Refuse, when set, is consulted by a worker before running a batch:
+	// true resolves the batch immediately with ErrRefused. Wire a circuit
+	// breaker's open-state check here so a broken source's queue drains
+	// fast. It must be safe for concurrent use.
+	Refuse func(source string) bool
+	// Metrics receives the starts_dispatch_* counters, gauges and
+	// histograms; nil allocates a private registry.
+	Metrics *obs.Registry
+	// Now overrides the clock for wait/run timing, so tests with frozen
+	// clocks stay deterministic.
+	Now func() time.Time
+}
+
+// Dispatcher routes per-source work through bounded, batching queues.
+// All methods are safe for concurrent use.
+type Dispatcher struct {
+	cfg Config
+
+	mu     sync.Mutex
+	queues map[string]*queue
+	closed bool
+}
+
+// New returns a dispatcher for the config.
+func New(cfg Config) *Dispatcher {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Dispatcher{cfg: cfg, queues: map[string]*queue{}}
+}
+
+// Metrics returns the registry the dispatcher records into.
+func (d *Dispatcher) Metrics() *obs.Registry { return d.cfg.Metrics }
+
+// Submit enqueues fn for the source, or joins an in-flight batch with
+// the same non-empty key (one wire call fans back to all waiters; keys
+// must identify the work, e.g. a fingerprint of the translated query —
+// an empty key never coalesces). It never blocks: a queue at its depth
+// bound sheds with ErrQueueFull. On success the caller must consume the
+// returned Ticket with Wait.
+func (d *Dispatcher) Submit(ctx context.Context, source, key string, lim Limits, fn Task) (*Ticket, error) {
+	q, err := d.queueFor(source, lim)
+	if err != nil {
+		return nil, err
+	}
+	return q.submit(ctx, key, fn)
+}
+
+// queueFor returns the source's queue, creating it (and spawning its
+// workers) on first touch.
+func (d *Dispatcher) queueFor(source string, lim Limits) (*queue, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	q := d.queues[source]
+	if q == nil {
+		q = newQueue(d, source, lim.withDefaults(d.cfg.Limits))
+		d.queues[source] = q
+		for i := 0; i < q.lim.Concurrency; i++ {
+			go q.worker()
+		}
+	}
+	return q, nil
+}
+
+// QueueStat is one source queue's live state and lifetime counters, for
+// debug endpoints and tests.
+type QueueStat struct {
+	// Source is the source ID the queue serves.
+	Source string `json:"source"`
+	// Workers and QueueCap echo the queue's effective Limits.
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	// Depth is the number of batches currently waiting for a worker.
+	Depth int64 `json:"depth"`
+	// Inflight is the number of tasks currently running on workers.
+	Inflight int64 `json:"inflight"`
+	// Submitted counts accepted submissions (leaders plus joiners);
+	// Batched counts the joiners among them, so Submitted-Batched is the
+	// number of wire calls attempted.
+	Submitted int64 `json:"submitted"`
+	Batched   int64 `json:"batched"`
+	// QueueFull counts submissions shed with ErrQueueFull.
+	QueueFull int64 `json:"queue_full"`
+	// Refused counts batches fast-drained with ErrRefused.
+	Refused int64 `json:"refused"`
+	// Cancelled counts batches whose every waiter abandoned them before
+	// a worker picked them up.
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Snapshot reports every source queue's stats, sorted by source ID.
+func (d *Dispatcher) Snapshot() []QueueStat {
+	d.mu.Lock()
+	qs := make([]*queue, 0, len(d.queues))
+	for _, q := range d.queues {
+		qs = append(qs, q)
+	}
+	d.mu.Unlock()
+	stats := make([]QueueStat, len(qs))
+	for i, q := range qs {
+		stats[i] = q.stat()
+	}
+	for i := 1; i < len(stats); i++ {
+		for j := i; j > 0 && stats[j].Source < stats[j-1].Source; j-- {
+			stats[j], stats[j-1] = stats[j-1], stats[j]
+		}
+	}
+	return stats
+}
+
+// Close stops accepting submissions and lets workers drain the batches
+// already queued. It is safe to call more than once.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	qs := make([]*queue, 0, len(d.queues))
+	for _, q := range d.queues {
+		qs = append(qs, q)
+	}
+	d.mu.Unlock()
+	for _, q := range qs {
+		q.mu.Lock()
+		q.closed = true
+		q.mu.Unlock()
+		close(q.ch)
+	}
+}
+
+// queue is one source's bounded channel of batches plus its workers.
+type queue struct {
+	d      *Dispatcher
+	source string
+	lim    Limits
+	ch     chan *batch
+
+	mu      sync.Mutex
+	pending map[string]*batch // key -> in-flight batch accepting joiners
+	closed  bool
+
+	submitted, batched, queueFull, refused, cancelled atomic.Int64
+
+	cSubmitted, cBatched, cQueueFull, cRefused, cCancelled *obs.Counter
+	gDepth, gInflight                                      *obs.Gauge
+	hWait, hRun                                            *obs.Histogram
+}
+
+func newQueue(d *Dispatcher, source string, lim Limits) *queue {
+	reg := d.cfg.Metrics
+	l := func(name string) string { return obs.L(name, "source", source) }
+	return &queue{
+		d:          d,
+		source:     source,
+		lim:        lim,
+		ch:         make(chan *batch, lim.QueueDepth),
+		pending:    map[string]*batch{},
+		cSubmitted: reg.Counter(l(obs.MDispatchSubmitted)),
+		cBatched:   reg.Counter(l(obs.MDispatchBatched)),
+		cQueueFull: reg.Counter(l(obs.MDispatchQueueFull)),
+		cRefused:   reg.Counter(l(obs.MDispatchRefused)),
+		cCancelled: reg.Counter(l(obs.MDispatchCancelled)),
+		gDepth:     reg.Gauge(l(obs.MDispatchQueueDepth)),
+		gInflight:  reg.Gauge(l(obs.MDispatchInflight)),
+		hWait:      reg.Histogram(l(obs.MDispatchWaitSeconds)),
+		hRun:       reg.Histogram(l(obs.MDispatchRunSeconds)),
+	}
+}
+
+func (q *queue) stat() QueueStat {
+	return QueueStat{
+		Source:    q.source,
+		Workers:   q.lim.Concurrency,
+		QueueCap:  q.lim.QueueDepth,
+		Depth:     q.gDepth.Value(),
+		Inflight:  q.gInflight.Value(),
+		Submitted: q.submitted.Load(),
+		Batched:   q.batched.Load(),
+		QueueFull: q.queueFull.Load(),
+		Refused:   q.refused.Load(),
+		Cancelled: q.cancelled.Load(),
+	}
+}
+
+// submit joins an in-flight batch for key or enqueues a new one,
+// shedding with ErrQueueFull when the queue is at its depth bound.
+func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if key != "" {
+		if b := q.pending[key]; b != nil {
+			b.waiters++
+			q.mu.Unlock()
+			q.submitted.Add(1)
+			q.cSubmitted.Inc()
+			q.batched.Add(1)
+			q.cBatched.Inc()
+			return &Ticket{q: q, b: b}, nil
+		}
+	}
+	// The batch context keeps the leader's values (trace, metrics) but
+	// detaches its cancellation: a batch serves every waiter, so it ends
+	// early only when all of them have abandoned it.
+	bctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	b := &batch{
+		key:      key,
+		fn:       fn,
+		ctx:      bctx,
+		cancel:   cancel,
+		enqueued: q.d.cfg.Now(),
+		waiters:  1,
+		done:     make(chan struct{}),
+	}
+	select {
+	case q.ch <- b:
+	default:
+		q.mu.Unlock()
+		cancel()
+		q.queueFull.Add(1)
+		q.cQueueFull.Inc()
+		return nil, fmt.Errorf("%w: %s (depth %d)", ErrQueueFull, q.source, q.lim.QueueDepth)
+	}
+	if key != "" {
+		q.pending[key] = b
+	}
+	q.mu.Unlock()
+	q.submitted.Add(1)
+	q.cSubmitted.Inc()
+	q.gDepth.Add(1)
+	return &Ticket{q: q, b: b, led: true}, nil
+}
+
+// worker serves batches until the queue's channel closes.
+func (q *queue) worker() {
+	for b := range q.ch {
+		q.gDepth.Add(-1)
+		q.runBatch(b)
+	}
+}
+
+// runBatch resolves one batch: skipped if every waiter already abandoned
+// it, fast-drained if the source is refused, otherwise the task runs
+// (with panic containment) under the batch context. The batch leaves the
+// pending map before done closes, mirroring qcache's flightGroup, so a
+// later identical submit starts a fresh batch instead of joining a
+// finished one.
+func (q *queue) runBatch(b *batch) {
+	defer b.cancel()
+	b.waited = q.d.cfg.Now().Sub(b.enqueued)
+	q.hWait.Observe(b.waited)
+	switch {
+	case b.ctx.Err() != nil:
+		b.err = fmt.Errorf("dispatch: %s: batch abandoned before start: %w", q.source, context.Cause(b.ctx))
+		q.cancelled.Add(1)
+		q.cCancelled.Inc()
+	case q.d.cfg.Refuse != nil && q.d.cfg.Refuse(q.source):
+		b.err = fmt.Errorf("%w: %s", ErrRefused, q.source)
+		q.refused.Add(1)
+		q.cRefused.Inc()
+	default:
+		q.gInflight.Add(1)
+		start := q.d.cfg.Now()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					b.err = fmt.Errorf("dispatch: %s: task panicked: %v", q.source, r)
+				}
+			}()
+			b.val, b.err = b.fn(b.ctx)
+		}()
+		b.ran = q.d.cfg.Now().Sub(start)
+		q.hRun.Observe(b.ran)
+		q.gInflight.Add(-1)
+	}
+	q.mu.Lock()
+	if b.key != "" && q.pending[b.key] == b {
+		delete(q.pending, b.key)
+	}
+	b.fanout = b.waiters
+	q.mu.Unlock()
+	close(b.done)
+}
+
+// batch is one (possibly shared) unit of queued work. val, err, waited,
+// ran and fanout are written by the serving worker before done closes
+// and only read after done, so they need no lock; waiters is guarded by
+// the queue mutex.
+type batch struct {
+	key      string
+	fn       Task
+	ctx      context.Context
+	cancel   context.CancelFunc
+	enqueued time.Time
+	done     chan struct{}
+
+	waiters int // guarded by queue.mu
+
+	val    any
+	err    error
+	waited time.Duration
+	ran    time.Duration
+	fanout int
+}
+
+// Ticket is one waiter's handle on a submitted batch.
+type Ticket struct {
+	q       *queue
+	b       *batch
+	led     bool
+	abandon sync.Once
+}
+
+// Led reports whether this waiter created the batch (false: it joined an
+// in-flight one). Exactly one waiter per wire call leads; feed breaker
+// or accounting state from the leader only, or shared calls are
+// double-counted.
+func (t *Ticket) Led() bool { return t.led }
+
+// Wait blocks until the batch resolves or ctx ends. Abandoning a batch
+// (ctx ending first) unregisters this waiter; when the last waiter
+// abandons, the batch context is cancelled, so a wire call nobody is
+// waiting for stops — the same behavior an un-dispatched call had under
+// its search's context.
+func (t *Ticket) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-t.b.done:
+		return t.b.val, t.b.err
+	case <-ctx.Done():
+		t.abandon.Do(func() {
+			t.q.mu.Lock()
+			t.b.waiters--
+			last := t.b.waiters == 0
+			t.q.mu.Unlock()
+			if last {
+				t.b.cancel()
+			}
+		})
+		return nil, ctx.Err()
+	}
+}
+
+// resolved reports whether the batch has finished.
+func (t *Ticket) resolved() bool {
+	select {
+	case <-t.b.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Waited returns how long the batch sat queued before a worker picked it
+// up (0 until the batch resolves).
+func (t *Ticket) Waited() time.Duration {
+	if !t.resolved() {
+		return 0
+	}
+	return t.b.waited
+}
+
+// RunFor returns the wire call's own duration — shared by every waiter
+// of a batch — or 0 if the batch has not resolved or never ran.
+func (t *Ticket) RunFor() time.Duration {
+	if !t.resolved() {
+		return 0
+	}
+	return t.b.ran
+}
+
+// Fanout returns how many waiters the resolved batch served (at least 1;
+// 0 until the batch resolves). A fanout above 1 means the result value
+// is shared: consumers that mutate it must copy first.
+func (t *Ticket) Fanout() int {
+	if !t.resolved() {
+		return 0
+	}
+	return t.b.fanout
+}

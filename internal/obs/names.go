@@ -60,3 +60,37 @@ const (
 	// MQCacheWarmSeconds is the wall time of whole warm-start replays.
 	MQCacheWarmSeconds = "starts_qcache_warm_seconds"
 )
+
+// Canonical metric names of the per-source dispatch layer
+// (internal/dispatch). Like the qcache family, they live here because
+// several layers observe them — core's fan-out, the dispatching Conn
+// middleware, and the debug endpoints — and must agree on names. All
+// carry a source label (encoded with L).
+const (
+	// MDispatchSubmitted counts accepted submissions, leaders plus
+	// joiners; MDispatchSubmitted - MDispatchBatched is the number of
+	// wire calls attempted.
+	MDispatchSubmitted = "starts_dispatch_submitted_total"
+	// MDispatchBatched counts submissions that joined an in-flight batch
+	// for the same key instead of enqueueing their own wire call.
+	MDispatchBatched = "starts_dispatch_batched_total"
+	// MDispatchQueueFull counts submissions shed with ErrQueueFull.
+	MDispatchQueueFull = "starts_dispatch_queue_full_total"
+	// MDispatchRefused counts batches fast-drained with ErrRefused
+	// because the source's Refuse hook (circuit breaker) reported it
+	// unavailable.
+	MDispatchRefused = "starts_dispatch_refused_total"
+	// MDispatchCancelled counts batches abandoned by every waiter before
+	// a worker picked them up.
+	MDispatchCancelled = "starts_dispatch_cancelled_total"
+	// MDispatchQueueDepth gauges batches currently waiting for a worker.
+	MDispatchQueueDepth = "starts_dispatch_queue_depth"
+	// MDispatchInflight gauges tasks currently running on the source's
+	// workers; it never exceeds the source's configured concurrency.
+	MDispatchInflight = "starts_dispatch_inflight"
+	// MDispatchWaitSeconds is the histogram of time batches spent queued
+	// before a worker picked them up.
+	MDispatchWaitSeconds = "starts_dispatch_wait_seconds"
+	// MDispatchRunSeconds is the histogram of task (wire call) durations.
+	MDispatchRunSeconds = "starts_dispatch_run_seconds"
+)

@@ -426,11 +426,11 @@ func TestCounterInvariantAndInjectedClock(t *testing.T) {
 	if out := do("bad", fillErr); out != Filled { // errors are not cached: miss again
 		t.Fatalf("second failed fill outcome = %v, want miss", out)
 	}
-	do("k", fillConst("v"))           // miss
-	do("k", fillConst("v"))           // hit
-	do("k", fillConst("v"))           // hit
-	clk.advance(2 * time.Minute)      // expire k within the stale window
-	do("k", fillConst("v"))           // stale
+	do("k", fillConst("v"))      // miss
+	do("k", fillConst("v"))      // hit
+	do("k", fillConst("v"))      // hit
+	clk.advance(2 * time.Minute) // expire k within the stale window
+	do("k", fillConst("v"))      // stale
 	// Coalescing: a second caller joins an in-flight fill.
 	enter := make(chan struct{})
 	release := make(chan struct{})

@@ -1,0 +1,68 @@
+package qcache
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestExpiresWithin pins the proactive-refresh predicate: only entries
+// that are still fresh but due to expire inside the lead window report
+// true.
+func TestExpiresWithin(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{TTL: time.Minute, Now: clk.now})
+	ctx := context.Background()
+
+	if c.ExpiresWithin("k", time.Hour) {
+		t.Error("missing entry reported as expiring")
+	}
+	if _, _, err := c.Do(ctx, "k", fillConst("v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.ExpiresWithin("k", 10*time.Second) {
+		t.Error("fresh entry 60s from expiry reported within a 10s lead")
+	}
+	if !c.ExpiresWithin("k", 2*time.Minute) {
+		t.Error("entry expiring inside a 2m lead not reported")
+	}
+	clk.advance(55 * time.Second)
+	if !c.ExpiresWithin("k", 10*time.Second) {
+		t.Error("entry 5s from expiry not reported within a 10s lead")
+	}
+	clk.advance(10 * time.Second)
+	// Past expiry the entry is stale, not expiring — refreshing it ahead
+	// of time is no longer possible, SWR owns it now.
+	if c.ExpiresWithin("k", 10*time.Second) {
+		t.Error("already-expired entry reported as expiring ahead")
+	}
+}
+
+// TestRefresh pins the background re-fill: Refresh replaces the entry
+// asynchronously and later reads serve the new value without a fill.
+func TestRefresh(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{TTL: time.Minute, Now: clk.now})
+	ctx := context.Background()
+	if _, _, err := c.Do(ctx, "k", fillConst("one")); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Refresh("k", func(context.Context) (any, time.Duration, error) {
+		return "two", 0, nil
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		v, _, err := c.Do(ctx, "k", fillConst("three"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == "two" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refresh never landed; still serving %v", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -216,6 +216,15 @@ func (b *Breaker) Broken(id string) bool {
 	return s == StateOpen || s == StateHalfOpen
 }
 
+// Open reports whether the source's circuit is in the open state right
+// now — the read-only fast-drain signal for the dispatch layer's Refuse
+// hook. Unlike Broken it admits half-open (the probe in flight must be
+// allowed to run), and unlike Allow it never transitions the circuit, so
+// checking it cannot consume a probe slot.
+func (b *Breaker) Open(id string) bool {
+	return b.State(id) == StateOpen
+}
+
 // Snapshot lists every tracked source and its state, sorted by ID.
 func (b *Breaker) Snapshot() []SourceState {
 	b.mu.Lock()

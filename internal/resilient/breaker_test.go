@@ -163,3 +163,30 @@ func TestStateString(t *testing.T) {
 		}
 	}
 }
+
+func TestBreakerOpenFastDrainSignal(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Minute)
+	if b.Open("S") {
+		t.Error("closed circuit reported open")
+	}
+	b.Record("S", errDown)
+	if !b.Open("S") {
+		t.Error("tripped circuit not reported open")
+	}
+	clock.advance(2 * time.Minute)
+	// Open is read-only: polling it any number of times after cooldown
+	// must not consume the single half-open probe slot.
+	for i := 0; i < 5; i++ {
+		_ = b.Open("S")
+	}
+	if !b.Allow("S") {
+		t.Fatal("Open consumed the half-open probe slot")
+	}
+	if got := b.State("S"); got != StateHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", got)
+	}
+	// The admitted probe must never be fast-drained by the Refuse hook.
+	if b.Open("S") {
+		t.Error("half-open circuit reported open; the probe would be refused")
+	}
+}

@@ -1,0 +1,32 @@
+package result
+
+import "testing"
+
+// TestCloneIsolatesMergeMutations pins the contract dispatch batching
+// relies on: merge mutates RawScore, Sources and TermStats in place, so
+// a consumer of a shared batched Results must be able to Clone and
+// mutate without the other waiters seeing it.
+func TestCloneIsolatesMergeMutations(t *testing.T) {
+	orig := &Results{Documents: []*Document{source1Doc()}}
+	cp := orig.Clone()
+
+	// Everything merge.fuse touches, touched on the clone.
+	cp.Documents[0].RawScore = 0.99
+	cp.Documents[0].Sources = append(cp.Documents[0].Sources, "Source-2")
+	cp.Documents[0].TermStats = nil
+	cp.Documents = append(cp.Documents, source1Doc())
+
+	d := orig.Documents[0]
+	if len(orig.Documents) != 1 {
+		t.Errorf("original grew to %d documents", len(orig.Documents))
+	}
+	if d.RawScore != 0.82 {
+		t.Errorf("original RawScore = %v, want 0.82", d.RawScore)
+	}
+	if len(d.Sources) != 1 || d.Sources[0] != "Source-1" {
+		t.Errorf("original Sources = %v, want [Source-1]", d.Sources)
+	}
+	if len(d.TermStats) != 2 {
+		t.Errorf("original TermStats = %d entries, want 2", len(d.TermStats))
+	}
+}

@@ -124,6 +124,24 @@ func (r *Results) Marshal() ([]byte, error) {
 	return soif.MarshalAll(r.ToSOIF())
 }
 
+// Clone returns a copy of r that is safe to hand to a consumer that
+// mutates merge state: rank merging collapses duplicates by rewriting a
+// document's Sources, RawScore and TermStats in place, so a Results
+// value shared between concurrent searches (conn-level caching, dispatch
+// batching) must be cloned per consumer. The Documents slice, each
+// Document and its Sources slice are copied; Fields maps, TermStat
+// entries and the header expressions are shared and must stay read-only.
+func (r *Results) Clone() *Results {
+	cp := *r
+	cp.Documents = make([]*Document, len(r.Documents))
+	for i, d := range r.Documents {
+		dc := *d
+		dc.Sources = append([]string(nil), d.Sources...)
+		cp.Documents[i] = &dc
+	}
+	return &cp
+}
+
 func (d *Document) toSOIF() *soif.Object {
 	o := soif.New(DocumentType)
 	o.Add("Version", query.Version)

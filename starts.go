@@ -27,6 +27,7 @@ import (
 
 	"starts/internal/client"
 	"starts/internal/core"
+	"starts/internal/dispatch"
 	"starts/internal/engine"
 	"starts/internal/faulty"
 	"starts/internal/gloss"
@@ -235,6 +236,16 @@ func WithCache(c *QueryCache) SearchOption { return core.WithCache(c) }
 // WithNoCache bypasses the query-result cache for this search.
 func WithNoCache() SearchOption { return core.WithNoCache() }
 
+// WithSourceConcurrency caps this search's per-source parallel wire
+// calls; takes effect only for sources whose dispatch queue this search
+// is the first to touch.
+func WithSourceConcurrency(n int) SearchOption { return core.WithSourceConcurrency(n) }
+
+// WithQueueDepth bounds how many batches may wait per source before the
+// dispatcher sheds with ErrQueueFull; first-touch only, like
+// WithSourceConcurrency.
+func WithQueueDepth(n int) SearchOption { return core.WithQueueDepth(n) }
+
 // Query-result caching and load shedding.
 type (
 	// QueryCache is a sharded LRU+TTL query-result cache with
@@ -260,6 +271,37 @@ type (
 // ErrShed is returned (wrapped) when the cache's admission gate sheds a
 // query under overload; detect it with errors.Is.
 var ErrShed = qcache.ErrShed
+
+// Per-source dispatching.
+type (
+	// Dispatcher owns a bounded work queue and worker pool per source
+	// and coalesces identical in-flight calls across searches. Every
+	// Metasearcher builds one internally (sized by
+	// MetasearcherOptions.SourceConcurrency/QueueDepth); build one
+	// yourself only to share a dispatch layer across hand-rolled conns.
+	Dispatcher = dispatch.Dispatcher
+	// DispatchConfig configures a Dispatcher; its zero value is usable.
+	DispatchConfig = dispatch.Config
+	// DispatchLimits sizes one source's queue: worker count and queue
+	// depth. Queues are sized on first contact.
+	DispatchLimits = dispatch.Limits
+	// DispatchQueueStat is one source's dispatch counters, as reported
+	// by Metasearcher.DispatchStats and GET /debug/dispatch.
+	DispatchQueueStat = dispatch.QueueStat
+)
+
+// NewDispatcher returns a per-source dispatcher for use with
+// DispatchMiddleware; remember to Close it.
+func NewDispatcher(cfg DispatchConfig) *Dispatcher { return dispatch.New(cfg) }
+
+// Dispatch errors, for errors.Is against per-source outcomes: a full
+// queue sheds instead of blocking, an open breaker refuses instead of
+// timing out.
+var (
+	ErrQueueFull        = dispatch.ErrQueueFull
+	ErrDispatchRefused  = dispatch.ErrRefused
+	ErrDispatcherClosed = dispatch.ErrClosed
+)
 
 // NewQueryCache returns a query-result cache (zero config takes the
 // defaults: 4096 entries, 16 shards, one-minute TTL, stale window of
@@ -407,6 +449,21 @@ func ObserveMiddleware(reg *MetricsRegistry) ConnMiddleware {
 //		starts.ObserveMiddleware(reg))
 func CacheMiddleware(cache *QueryCache) ConnMiddleware {
 	return func(c Conn) Conn { return qcache.WrapConn(c, cache) }
+}
+
+// DispatchMiddleware routes a conn's traffic through d: calls queue per
+// source, run on bounded workers, and identical in-flight calls coalesce
+// into one wire call. Compose it OUTSIDE the cache so concurrent
+// identical misses batch before they can stampede the fill, and INSIDE
+// the observer so coalesced calls still count:
+//
+//	conn = starts.ChainConn(conn,
+//		starts.RetryMiddleware(policy, budget),
+//		starts.CacheMiddleware(cache),
+//		starts.DispatchMiddleware(d, starts.DispatchLimits{}),
+//		starts.ObserveMiddleware(reg))
+func DispatchMiddleware(d *Dispatcher, lim DispatchLimits) ConnMiddleware {
+	return func(c Conn) Conn { return dispatch.WrapConn(c, d, lim) }
 }
 
 // Selectors.
