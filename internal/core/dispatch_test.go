@@ -152,6 +152,49 @@ func TestQueueFullSurfacesInOutcome(t *testing.T) {
 	}
 }
 
+// TestBreakerReleasedWhenCallSkipsWire pins the probe-slot bookkeeping
+// between the breaker and the dispatch layer: a breaker-admitted call
+// that never produces its own wire outcome — it coalesced onto another
+// search's batch, or was shed with ErrQueueFull — must Release its claim
+// instead of Recording, so a half-open circuit cannot get stuck waiting
+// on feedback that will never come.
+func TestBreakerReleasedWhenCallSkipsWire(t *testing.T) {
+	ms := New(Options{Timeout: 5 * time.Second})
+	defer ms.Close()
+	g := &gateConn{failingConn: failingConn{id: "g"}, release: make(chan struct{})}
+	ms.Add(g)
+	if err := ms.Harvest(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gate := &fakeGate{}
+	ms.opts.Breaker = gate
+	base := dispatchStat(t, ms, "g")
+
+	const searches = 4
+	q := rankingQuery(t, `list((body-of-text "databases"))`)
+	var wg sync.WaitGroup
+	for i := 0; i < searches; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ms.Search(context.Background(), q); err != nil {
+				t.Errorf("search: %v", err)
+			}
+		}()
+	}
+	waitForStat(t, ms, "g", func(st dispatch.QueueStat) bool {
+		return st.Batched-base.Batched == searches-1
+	})
+	close(g.release)
+	wg.Wait()
+
+	// One leader observed the shared wire call; the three joiners must
+	// have released their claims, not recorded nor vanished.
+	if rec, rel := gate.counts("g"); rec != 1 || rel != searches-1 {
+		t.Errorf("records/releases = %d/%d, want 1/%d", rec, rel, searches-1)
+	}
+}
+
 // mustQuery builds a one-term ranking query inline; hung off the
 // metasearcher only to keep call sites short.
 func (m *Metasearcher) mustQuery(t *testing.T, term string) *query.Query {

@@ -100,7 +100,11 @@ type Metasearcher struct {
 
 // BreakerGate admits or refuses traffic to sources. It is satisfied by
 // resilient.Breaker; core defines only the interface so the dependency
-// points outward.
+// points outward. Two optional methods are discovered by assertion:
+// Open(id) bool becomes the dispatcher's fast-drain Refuse hook, and
+// Release(id) is called for an admitted call that ends without a wire
+// outcome (shed at the dispatch layer, coalesced onto another search's
+// batch), so a half-open probe slot it holds is freed.
 type BreakerGate interface {
 	// Allow reports whether the source may be contacted now.
 	Allow(id string) bool
@@ -1033,12 +1037,20 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 		dsp.End(nil)
 	}
 	sp.End(err)
-	// Only the batch leader reports to the breaker: N coalesced waiters
-	// observed one wire call, and dispatch-level shedding or refusal says
-	// nothing new about the source's health.
-	if opts.Breaker != nil && led &&
-		!errors.Is(err, dispatch.ErrQueueFull) && !errors.Is(err, dispatch.ErrRefused) {
-		opts.Breaker.Record(id, err)
+	// Only the batch leader reports a wire outcome to the breaker: N
+	// coalesced waiters observed one call, and dispatch-level shedding,
+	// refusal or shutdown says nothing new about the source's health. The
+	// breaker admitted every caller here, though, so a call with no wire
+	// outcome to report must still release its claim (on breakers that
+	// support it) — otherwise a half-open probe that was shed or that
+	// joined another batch would leave its circuit stuck refusing traffic.
+	if opts.Breaker != nil {
+		if led && !errors.Is(err, dispatch.ErrQueueFull) &&
+			!errors.Is(err, dispatch.ErrRefused) && !errors.Is(err, dispatch.ErrClosed) {
+			opts.Breaker.Record(id, err)
+		} else if rel, ok := opts.Breaker.(interface{ Release(id string) }); ok {
+			rel.Release(id)
+		}
 	}
 	m.metrics.Counter(obs.L("starts_source_queries_total", "source", id)).Inc()
 	m.metrics.Histogram(obs.L("starts_source_query_seconds", "source", id)).Observe(oc.Elapsed)

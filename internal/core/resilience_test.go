@@ -133,11 +133,13 @@ func TestSearchBudgetDegradesMixedFleet(t *testing.T) {
 	}
 }
 
-// fakeGate refuses a fixed set of sources and records outcomes.
+// fakeGate refuses a fixed set of sources and records outcomes and
+// probe-slot releases.
 type fakeGate struct {
-	mu      sync.Mutex
-	refused map[string]bool
-	records map[string]int
+	mu       sync.Mutex
+	refused  map[string]bool
+	records  map[string]int
+	releases map[string]int
 }
 
 func (g *fakeGate) Allow(id string) bool {
@@ -153,6 +155,21 @@ func (g *fakeGate) Record(id string, err error) {
 		g.records = map[string]int{}
 	}
 	g.records[id]++
+}
+
+func (g *fakeGate) Release(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.releases == nil {
+		g.releases = map[string]int{}
+	}
+	g.releases[id]++
+}
+
+func (g *fakeGate) counts(id string) (records, releases int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.records[id], g.releases[id]
 }
 
 func TestBreakerGateSkipsSources(t *testing.T) {

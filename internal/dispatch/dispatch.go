@@ -325,9 +325,14 @@ func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error
 		waiters:  1,
 		done:     make(chan struct{}),
 	}
+	// The depth gauge rises before the batch becomes visible on the
+	// channel: a worker decrements on receive, so incrementing after the
+	// send could transiently read -1.
+	q.gDepth.Add(1)
 	select {
 	case q.ch <- b:
 	default:
+		q.gDepth.Add(-1)
 		q.mu.Unlock()
 		cancel()
 		q.queueFull.Add(1)
@@ -340,7 +345,6 @@ func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error
 	q.mu.Unlock()
 	q.submitted.Add(1)
 	q.cSubmitted.Inc()
-	q.gDepth.Add(1)
 	return &Ticket{q: q, b: b, led: true}, nil
 }
 
@@ -432,9 +436,10 @@ func (t *Ticket) Led() bool { return t.led }
 
 // Wait blocks until the batch resolves or ctx ends. Abandoning a batch
 // (ctx ending first) unregisters this waiter; when the last waiter
-// abandons, the batch context is cancelled, so a wire call nobody is
-// waiting for stops — the same behavior an un-dispatched call had under
-// its search's context.
+// abandons, the batch leaves the pending map (it accepts no new joiners)
+// and its context is cancelled, so a wire call nobody is waiting for
+// stops — the same behavior an un-dispatched call had under its search's
+// context.
 func (t *Ticket) Wait(ctx context.Context) (any, error) {
 	select {
 	case <-t.b.done:
@@ -444,6 +449,13 @@ func (t *Ticket) Wait(ctx context.Context) (any, error) {
 			t.q.mu.Lock()
 			t.b.waiters--
 			last := t.b.waiters == 0
+			if last && t.b.key != "" && t.q.pending[t.b.key] == t.b {
+				// The batch dies with its last waiter: remove it from the
+				// pending map inside the same critical section, so a later
+				// identical submit starts a fresh batch instead of joining
+				// this one and inheriting its cancellation.
+				delete(t.q.pending, t.b.key)
+			}
 			t.q.mu.Unlock()
 			if last {
 				t.b.cancel()

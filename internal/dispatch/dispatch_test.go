@@ -55,8 +55,54 @@ func TestQueueFullShedsWithoutBlocking(t *testing.T) {
 	if waited := time.Since(start); waited > time.Second {
 		t.Errorf("shed submit blocked for %v", waited)
 	}
-	if st := stat(t, d, "s"); st.QueueFull != 1 {
+	st := stat(t, d, "s")
+	if st.QueueFull != 1 {
 		t.Errorf("QueueFull = %d, want 1", st.QueueFull)
+	}
+	// Blocker running, one batch queued, shed submit net zero.
+	if st.Depth != 1 {
+		t.Errorf("Depth = %d, want 1", st.Depth)
+	}
+}
+
+// TestAbandonedBatchLeavesPendingMap pins the repending contract: when
+// the last waiter abandons a queued batch, the batch must leave the
+// pending map with it, so a later identical submit starts a fresh batch
+// instead of joining the dead one and inheriting its cancellation.
+func TestAbandonedBatchLeavesPendingMap(t *testing.T) {
+	d := New(Config{})
+	defer d.Close()
+	lim := Limits{Concurrency: 1, QueueDepth: 4}
+	release, _ := occupy(t, d, "s", lim)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tk, err := d.Submit(ctx, "s", "hot-key", lim, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, werr := tk.Wait(ctx); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", werr)
+	}
+	// The same key resubmitted by a live caller must lead a fresh batch,
+	// not join the abandoned one and fail despite its own context being
+	// fine.
+	tk2, err := d.Submit(context.Background(), "s", "hot-key", lim, func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tk2.Led() {
+		t.Error("second submit joined the abandoned batch instead of leading a fresh one")
+	}
+	close(release)
+	v, werr := tk2.Wait(context.Background())
+	if werr != nil || v != "fresh" {
+		t.Fatalf("fresh batch = %v, %v; want \"fresh\", nil", v, werr)
+	}
+	if st := stat(t, d, "s"); st.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1", st.Cancelled)
 	}
 }
 

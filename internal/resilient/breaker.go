@@ -159,9 +159,11 @@ func (b *Breaker) Allow(id string) bool {
 
 // Record feeds a call's outcome back. A nil err is a success; context
 // cancellation is ignored (the caller gave up — that says nothing about
-// the source); any other error counts against the source.
+// the source), though it still releases a half-open probe slot the call
+// may hold; any other error counts against the source.
 func (b *Breaker) Record(id string, err error) {
 	if err != nil && errors.Is(err, context.Canceled) {
+		b.Release(id)
 		return
 	}
 	var trans []transition
@@ -194,6 +196,21 @@ func (b *Breaker) Record(id string, err error) {
 		// The probe failed: back to open, restarting the cooldown.
 		*c = circuit{state: StateOpen, openedAt: b.cfg.Now()}
 		trans = append(trans, transition{id, StateHalfOpen, StateOpen})
+	}
+}
+
+// Release frees a half-open probe slot without judging the source, for
+// an admitted call that produced no wire outcome to Record: it was shed
+// at the dispatch layer, coalesced onto another call's batch, or its
+// caller gave up. The circuit stays half-open and the next Allow admits
+// a fresh probe, instead of refusing all traffic forever waiting on a
+// Record that will never come. Releasing with no probe in flight is a
+// no-op.
+func (b *Breaker) Release(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.sources[id]; c != nil && c.state == StateHalfOpen {
+		c.probing = false
 	}
 }
 

@@ -128,6 +128,51 @@ func TestBreakerRequiresMultipleProbeSuccesses(t *testing.T) {
 	}
 }
 
+func TestBreakerReleaseFreesHalfOpenProbe(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Minute)
+	b.Release("S") // no circuit yet: no-op
+	b.Record("S", errDown)
+	clock.advance(61 * time.Second)
+	if !b.Allow("S") {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.Allow("S") {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	// The probe never reached the wire (shed at the dispatch layer, or it
+	// coalesced onto another batch): without a Release the circuit would
+	// refuse all traffic until restart.
+	b.Release("S")
+	if b.State("S") != StateHalfOpen {
+		t.Fatalf("state = %v after release, want half-open", b.State("S"))
+	}
+	if !b.Allow("S") {
+		t.Fatal("Release did not free the probe slot")
+	}
+	b.Record("S", nil)
+	if b.State("S") != StateClosed {
+		t.Errorf("state = %v after successful probe, want closed", b.State("S"))
+	}
+}
+
+func TestBreakerCancelledProbeFreesSlot(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Minute)
+	b.Record("S", errDown)
+	clock.advance(61 * time.Second)
+	if !b.Allow("S") {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	// The probe's caller gave up: that judges the caller, not the source,
+	// but the slot must come back or the circuit is stuck half-open.
+	b.Record("S", context.Canceled)
+	if b.State("S") != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open (cancellation is not an outcome)", b.State("S"))
+	}
+	if !b.Allow("S") {
+		t.Error("cancelled probe left the circuit stuck half-open")
+	}
+}
+
 func TestBreakerIgnoresCancellation(t *testing.T) {
 	b, _ := newTestBreaker(1, time.Minute)
 	b.Record("S", context.Canceled)
