@@ -3,7 +3,7 @@
 GO      ?= go
 BINDIR  ?= /tmp/starts-bin
 
-.PHONY: build test vet race lint bench bench-dispatch warm tier1 tier2 check cli clean
+.PHONY: build test vet race lint bench bench-dispatch warm soak tier1 tier2 check cli clean
 
 build:
 	$(GO) build ./...
@@ -45,11 +45,17 @@ warm:
 bench-dispatch:
 	$(GO) test -bench 'BenchmarkFanoutDispatched' -benchmem -run '^$$' .
 
+# soak runs the long-haul resilience scenarios (breaker lifecycle, fault
+# injection, adaptive-admission overload) under the race detector.
+soak:
+	$(GO) test -race -count=1 -timeout 10m -run 'Soak|Acceptance|DeadlineSheds' .
+
 # tier1 is the repo's baseline gate: everything must always pass.
 tier1: build test
 
-# tier2 adds static analysis (lint = gofmt + vet) and the race detector.
-tier2: lint race
+# tier2 adds static analysis (lint = gofmt + vet), the race detector and
+# the overload soak scenarios.
+tier2: lint race soak
 
 check: tier1 tier2
 

@@ -10,7 +10,9 @@
 // Resilience knobs: -retries/-retry-base (per-call retries with
 // exponential backoff), -breaker-after/-breaker-cooldown (per-source
 // circuit breaker), -budget (total search deadline), -adaptive
-// (past-performance selection penalties), and -fault-rate/-fault-latency
+// (past-performance selection penalties), -adaptive-limits with
+// -latency-slo/-adaptive-interval (AIMD self-tuning of each source's
+// dispatch concurrency and queue depth), and -fault-rate/-fault-latency
 // /-fault-seed (client-side fault injection for testing).
 //
 // -trace prints the search's span tree (harvest, select, translate,
@@ -60,6 +62,9 @@ func main() {
 		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection seed")
 		srcConcurrency  = flag.Int("source-concurrency", 0, "parallel wire calls per source (0 = default 4)")
 		srcQueue        = flag.Int("source-queue", 0, "queued batches per source before shedding with a fast error (0 = default 64)")
+		adaptiveLimits  = flag.Bool("adaptive-limits", false, "self-tune per-source concurrency and queue depth: AIMD on observed latency and breaker state")
+		latencySLO      = flag.Duration("latency-slo", 0, "per-source latency objective driving -adaptive-limits decreases (0 = default 2s)")
+		adaptInterval   = flag.Duration("adaptive-interval", 0, "control-loop period for -adaptive-limits (0 = default 1s)")
 		trace           = flag.Bool("trace", false, "print the search's span tree and a metrics snapshot to stderr")
 	)
 	flag.Parse()
@@ -106,6 +111,11 @@ func main() {
 		})
 		opts.Breaker = br
 	}
+	if *adaptiveLimits {
+		opts.Adaptive = &starts.AdaptiveLimitsConfig{
+			LatencySLO: *latencySLO, Interval: *adaptInterval,
+		}
+	}
 	ms := starts.NewMetasearcher(opts)
 	if *adaptive {
 		as := ms.NewAdaptiveSelector(sel)
@@ -131,6 +141,9 @@ func main() {
 		}, retryBudget))
 	}
 	ctx := context.Background()
+	if *adaptiveLimits {
+		ms.StartAdaptive(ctx)
+	}
 	hc := starts.NewClient(nil)
 	for _, url := range strings.Split(*resources, ",") {
 		conns, err := hc.Discover(ctx, strings.TrimSpace(url))

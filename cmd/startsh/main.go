@@ -21,9 +21,11 @@
 //
 // Dispatch flags: -source-concurrency and -source-queue size each
 // source's worker pool and queue (stats shows the per-source dispatch
-// counters). With -warm-file, -warm-interval snapshots the workload
-// periodically instead of only on quit; -debug-addr serves /metrics,
-// /debug/workload and /debug/dispatch for inspection while the shell
+// counters); -adaptive-limits re-tunes both live from observed latency
+// (AIMD against -latency-slo, every -adaptive-interval). With
+// -warm-file, -warm-interval snapshots the workload periodically instead
+// of only on quit; -debug-addr serves /metrics, /debug/workload,
+// /debug/dispatch and /debug/adaptive for inspection while the shell
 // runs.
 package main
 
@@ -56,7 +58,10 @@ func main() {
 		warmInterval    = flag.Duration("warm-interval", time.Minute, "snapshot the workload to -warm-file this often (and once on quit)")
 		srcConcurrency  = flag.Int("source-concurrency", 0, "parallel wire calls per source (0 = default 4)")
 		srcQueue        = flag.Int("source-queue", 0, "queued batches per source before shedding with a fast error (0 = default 64)")
-		debugAddr       = flag.String("debug-addr", "", "serve /metrics, /debug/workload and /debug/dispatch on this address (e.g. 127.0.0.1:6060)")
+		adaptiveLimits  = flag.Bool("adaptive-limits", false, "self-tune per-source concurrency and queue depth: AIMD on observed latency and breaker state")
+		latencySLO      = flag.Duration("latency-slo", 0, "per-source latency objective driving -adaptive-limits decreases (0 = default 2s)")
+		adaptInterval   = flag.Duration("adaptive-interval", 0, "control-loop period for -adaptive-limits (0 = default 1s)")
+		debugAddr       = flag.String("debug-addr", "", "serve /metrics, /debug/workload, /debug/dispatch and /debug/adaptive on this address (e.g. 127.0.0.1:6060)")
 		trace           = flag.Bool("trace", false, "print each q/f search's span tree")
 	)
 	flag.Parse()
@@ -85,7 +90,15 @@ func main() {
 		})
 		opts.Breaker = br
 	}
+	if *adaptiveLimits {
+		opts.Adaptive = &starts.AdaptiveLimitsConfig{
+			LatencySLO: *latencySLO, Interval: *adaptInterval,
+		}
+	}
 	ms := starts.NewMetasearcher(opts)
+	if *adaptiveLimits {
+		ms.StartAdaptive(ctx)
+	}
 	mw := []starts.ConnMiddleware{starts.ObserveMiddleware(reg)}
 	if *retries > 0 {
 		retryBudget := &starts.RetryBudget{}
@@ -139,7 +152,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "startsh: debug server: %v\n", err)
 			}
 		}()
-		fmt.Printf("debug endpoints on http://%s/metrics /debug/workload /debug/dispatch\n", *debugAddr)
+		fmt.Printf("debug endpoints on http://%s/metrics /debug/workload /debug/dispatch /debug/adaptive\n", *debugAddr)
 	}
 
 	sh := &shell{ms: ms, ctx: ctx, br: br, reg: reg, trace: *trace}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"starts/internal/adaptive"
 	"starts/internal/qcache"
 )
 
@@ -16,6 +17,9 @@ import (
 //	                      (the same format -warm-file persists, so a
 //	                      snapshot can be fed straight back to Warm)
 //	GET /debug/dispatch   per-source dispatch queue stats as JSON
+//	GET /debug/adaptive   the adaptive admission controller's latest
+//	                      per-source decisions as JSON (empty array when
+//	                      Options.Adaptive is unset)
 func (m *Metasearcher) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", m.metrics.Handler())
@@ -30,6 +34,16 @@ func (m *Metasearcher) DebugHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(m.DispatchStats())
+	})
+	mux.HandleFunc("GET /debug/adaptive", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		decisions := []adaptive.Decision{}
+		if m.adaptive != nil {
+			decisions = m.adaptive.Snapshot()
+		}
+		_ = enc.Encode(decisions)
 	})
 	return mux
 }

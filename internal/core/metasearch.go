@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"starts/internal/adaptive"
 	"starts/internal/client"
 	"starts/internal/dispatch"
 	"starts/internal/gloss"
@@ -78,6 +79,15 @@ type Options struct {
 	// submissions are shed with a typed dispatch.ErrQueueFull (surfaced
 	// in the per-source outcome). 0 takes dispatch.DefaultQueueDepth.
 	QueueDepth int
+	// Adaptive, when set, builds a self-tuning admission controller over
+	// the dispatch layer: an AIMD loop that grows each source's
+	// concurrency and queue depth while its latency stays under the
+	// config's SLO and cuts them multiplicatively when it breaches (or
+	// its breaker opens). The controller's Metrics, Now and Broken hook
+	// are wired to this metasearcher's registry, clock and Breaker; call
+	// StartAdaptive to run the loop, or Adaptive().Tick to drive it
+	// manually. Nil leaves the limits static.
+	Adaptive *adaptive.Config
 	// Now overrides the clock, for cache-expiry tests.
 	Now func() time.Time
 }
@@ -96,6 +106,7 @@ type Metasearcher struct {
 	metrics    *obs.Registry
 	workload   *qcache.Recorder
 	dispatcher *dispatch.Dispatcher
+	adaptive   *adaptive.Controller
 }
 
 // BreakerGate admits or refuses traffic to sources. It is satisfied by
@@ -151,7 +162,7 @@ func New(opts Options) *Metasearcher {
 	if op, ok := opts.Breaker.(interface{ Open(id string) bool }); ok {
 		refuse = op.Open
 	}
-	return &Metasearcher{
+	m := &Metasearcher{
 		opts:     opts,
 		conns:    map[string]client.Conn{},
 		entries:  map[string]*entry{},
@@ -165,11 +176,46 @@ func New(opts Options) *Metasearcher {
 			Now:     opts.Now,
 		}),
 	}
+	if opts.Adaptive != nil {
+		acfg := *opts.Adaptive
+		// The controller reads the dispatcher's per-source run histograms,
+		// so it must share the dispatcher's registry regardless of what the
+		// config carried.
+		acfg.Metrics = opts.Metrics
+		if acfg.Now == nil {
+			acfg.Now = opts.Now
+		}
+		if acfg.Broken == nil {
+			if br, ok := opts.Breaker.(interface{ Broken(id string) bool }); ok {
+				acfg.Broken = br.Broken
+			} else if refuse != nil {
+				acfg.Broken = refuse
+			}
+		}
+		m.adaptive = adaptive.New(m.dispatcher, acfg)
+	}
+	return m
 }
 
 // Dispatcher returns the per-source dispatch layer all of this
 // metasearcher's source traffic flows through.
 func (m *Metasearcher) Dispatcher() *dispatch.Dispatcher { return m.dispatcher }
+
+// Adaptive returns the admission controller built from Options.Adaptive,
+// or nil when adaptive limits are not configured.
+func (m *Metasearcher) Adaptive() *adaptive.Controller { return m.adaptive }
+
+// StartAdaptive runs the adaptive admission control loop until ctx ends;
+// the returned channel closes when the loop has stopped. Without
+// Options.Adaptive it is a no-op returning an already-closed channel.
+func (m *Metasearcher) StartAdaptive(ctx context.Context) <-chan struct{} {
+	if m.adaptive == nil {
+		done := make(chan struct{})
+		close(done)
+		return done
+	}
+	return m.adaptive.Start(ctx)
+}
 
 // DispatchStats reports every source queue's dispatch state and
 // counters, sorted by source ID.
@@ -994,7 +1040,15 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 	dsp.SetSource(id)
 	conn, sent, timeout := plan.conn, plan.sent, opts.Timeout
 	start := opts.Now()
-	ticket, err := m.dispatcher.Submit(obs.WithSpan(ctx, sp), id, batchKey(id, sent),
+	// The per-source deadline starts before Submit and is carried on the
+	// submitted context, so the dispatcher's deadline-aware admission can
+	// see this caller's remaining budget and refuse work that could not
+	// finish in time (dispatch.ErrDeadline) instead of queueing it. The
+	// batch itself detaches from this cancellation; the wire call is
+	// bounded by the same timeout applied inside the task.
+	wctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	ticket, err := m.dispatcher.Submit(obs.WithSpan(wctx, sp), id, batchKey(id, sent),
 		dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth},
 		func(tctx context.Context) (any, error) {
 			// The per-source Timeout bounds the wire call itself; the
@@ -1010,9 +1064,7 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 		// had — covering queue wait plus run — and the search's own
 		// context (budget, cancellation). Abandoning the wait unregisters
 		// this waiter; the wire call is cancelled once nobody waits.
-		wctx, cancel := context.WithTimeout(ctx, timeout)
 		v, werr := ticket.Wait(wctx)
-		cancel()
 		err = werr
 		led = ticket.Led()
 		if v != nil {
@@ -1029,9 +1081,10 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 	if oc.Elapsed == 0 {
 		oc.Elapsed = opts.Now().Sub(start)
 	}
-	// Dispatch-level failures (shed, fast-drained, closed) end the
-	// dispatch span; wire failures belong to the query span only.
-	if errors.Is(err, dispatch.ErrQueueFull) || errors.Is(err, dispatch.ErrRefused) || errors.Is(err, dispatch.ErrClosed) {
+	// Dispatch-level failures (shed, fast-drained, doomed, closed) end
+	// the dispatch span; wire failures belong to the query span only.
+	if errors.Is(err, dispatch.ErrQueueFull) || errors.Is(err, dispatch.ErrRefused) ||
+		errors.Is(err, dispatch.ErrDeadline) || errors.Is(err, dispatch.ErrClosed) {
 		dsp.End(err)
 	} else {
 		dsp.End(nil)
@@ -1045,8 +1098,8 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 	// support it) — otherwise a half-open probe that was shed or that
 	// joined another batch would leave its circuit stuck refusing traffic.
 	if opts.Breaker != nil {
-		if led && !errors.Is(err, dispatch.ErrQueueFull) &&
-			!errors.Is(err, dispatch.ErrRefused) && !errors.Is(err, dispatch.ErrClosed) {
+		if led && !errors.Is(err, dispatch.ErrQueueFull) && !errors.Is(err, dispatch.ErrRefused) &&
+			!errors.Is(err, dispatch.ErrDeadline) && !errors.Is(err, dispatch.ErrClosed) {
 			opts.Breaker.Record(id, err)
 		} else if rel, ok := opts.Breaker.(interface{ Release(id string) }); ok {
 			rel.Release(id)

@@ -9,11 +9,16 @@
 // spawned a fresh goroutine per (query, source) pair, so a slow source
 // accumulated unbounded in-flight work and identical sub-queries were
 // sent redundantly. The dispatcher inverts that ownership: each source
-// owns a fixed set of workers, searches merely submit work and wait on a
+// owns a bounded worker pool, searches merely submit work and wait on a
 // Ticket. Submission is non-blocking — a full queue sheds with a typed
-// ErrQueueFull instead of queueing without bound — and a Refuse hook
-// lets a circuit breaker fast-drain the queue of an open source instead
-// of timing out each waiter.
+// ErrQueueFull, and a submission whose remaining context budget cannot
+// cover the source's observed typical service time sheds with a typed
+// ErrDeadline instead of queueing doomed work — and a Refuse hook lets a
+// circuit breaker fast-drain the queue of an open source instead of
+// timing out each waiter. Both per-source bounds (worker count and
+// queue depth) are live: Resize retunes them while traffic flows, the
+// seam the adaptive admission controller (internal/adaptive) closes its
+// AIMD loop through.
 //
 // Batching reuses the qcache singleflight shape (pending map, done
 // channel, delete-before-close) one level below the answer cache: keys
@@ -26,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,7 +59,25 @@ var (
 	ErrRefused = errors.New("dispatch: source refused")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("dispatch: dispatcher closed")
+	// ErrDeadline is returned by Submit when the caller's remaining
+	// context budget cannot cover the source's observed typical (median)
+	// service time: the call was doomed to time out, so it fails fast
+	// instead of occupying queue and worker capacity on its way to a
+	// deadline error. Submissions to an idle source are always admitted,
+	// so a recovered source is re-probed instead of locked out by its own
+	// history.
+	ErrDeadline = errors.New("dispatch: deadline too tight for source")
 )
+
+// minRunSamples is how many recent run durations the deadline check
+// needs before it trusts its service-time estimate; below it every
+// submission is admitted.
+const minRunSamples = 8
+
+// runRingSize bounds the recent-run ring: large enough to smooth jitter,
+// small enough that a recovered source's faster runs dominate the
+// estimate within a few calls.
+const runRingSize = 32
 
 // Task is one unit of per-source work: typically a single wire call. It
 // runs on a source-owned worker goroutine under a batch context that
@@ -66,7 +90,9 @@ type Task func(ctx context.Context) (any, error)
 // many batches may wait. Zero fields take the dispatcher's configured
 // defaults (and ultimately DefaultConcurrency/DefaultQueueDepth). A
 // source's queue is created on first submit with the limits in effect
-// then; later submits with different limits do not resize it.
+// then; later submits with different limits do not resize it — only
+// Resize does, which is how an adaptive controller tightens a degraded
+// source's bounds and re-opens them on recovery.
 type Limits struct {
 	// Concurrency is the worker count: the hard bound on the source's
 	// in-flight wire calls.
@@ -149,8 +175,8 @@ func (d *Dispatcher) Submit(ctx context.Context, source, key string, lim Limits,
 	return q.submit(ctx, key, fn)
 }
 
-// queueFor returns the source's queue, creating it (and spawning its
-// workers) on first touch.
+// queueFor returns the source's queue, creating it (and starting its
+// pump) on first touch.
 func (d *Dispatcher) queueFor(source string, lim Limits) (*queue, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -161,11 +187,87 @@ func (d *Dispatcher) queueFor(source string, lim Limits) (*queue, error) {
 	if q == nil {
 		q = newQueue(d, source, lim.withDefaults(d.cfg.Limits))
 		d.queues[source] = q
-		for i := 0; i < q.lim.Concurrency; i++ {
-			go q.worker()
-		}
+		go q.pump()
 	}
 	return q, nil
+}
+
+// Resize changes a source's live limits: Concurrency adjusts the
+// in-flight bound (a shrink below the current in-flight count starts no
+// new tasks until enough running ones finish; none are interrupted) and
+// QueueDepth adjusts the admission bound (a shrink sheds new submissions
+// until the queue drains below it; queued batches are kept). Zero fields
+// take the dispatcher's configured defaults. QueueDepth is clamped to
+// the queue's fixed channel capacity (at least queueHardCap), chosen at
+// creation. It reports whether the source had a queue to resize — only
+// sources already submitted to can be resized.
+func (d *Dispatcher) Resize(source string, lim Limits) bool {
+	d.mu.Lock()
+	q := d.queues[source]
+	closed := d.closed
+	d.mu.Unlock()
+	if q == nil || closed {
+		return false
+	}
+	q.resize(lim.withDefaults(d.cfg.Limits))
+	return true
+}
+
+// semaphore is a resizable counting semaphore: acquire blocks while held
+// >= limit, and setLimit retunes the bound live — lowering it below the
+// held count blocks new acquires until enough releases land, without
+// interrupting current holders.
+type semaphore struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	limit int
+	held  int
+}
+
+func newSemaphore(limit int) *semaphore {
+	s := &semaphore{limit: limit}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *semaphore) acquire() {
+	s.mu.Lock()
+	for s.held >= s.limit {
+		s.cond.Wait()
+	}
+	s.held++
+	s.mu.Unlock()
+}
+
+func (s *semaphore) release() {
+	s.mu.Lock()
+	s.held--
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// free reports how many slots an acquire would win without waiting
+// (zero while a shrink leaves more holders than the new limit).
+func (s *semaphore) free() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.limit - s.held; n > 0 {
+		return n
+	}
+	return 0
+}
+
+func (s *semaphore) setLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	grew := n > s.limit
+	s.limit = n
+	s.mu.Unlock()
+	if grew {
+		s.cond.Broadcast()
+	}
 }
 
 // QueueStat is one source queue's live state and lifetime counters, for
@@ -173,7 +275,8 @@ func (d *Dispatcher) queueFor(source string, lim Limits) (*queue, error) {
 type QueueStat struct {
 	// Source is the source ID the queue serves.
 	Source string `json:"source"`
-	// Workers and QueueCap echo the queue's effective Limits.
+	// Workers and QueueCap echo the queue's live Limits (the bounds an
+	// adaptive Resize last applied, or the creation-time ones).
 	Workers  int `json:"workers"`
 	QueueCap int `json:"queue_cap"`
 	// Depth is the number of batches currently waiting for a worker.
@@ -192,6 +295,14 @@ type QueueStat struct {
 	// Cancelled counts batches whose every waiter abandoned them before
 	// a worker picked them up.
 	Cancelled int64 `json:"cancelled"`
+	// Doomed counts submissions refused with ErrDeadline because their
+	// remaining context budget could not cover the source's observed
+	// typical service time.
+	Doomed int64 `json:"doomed"`
+	// TypicalRun is the source's current median observed service time (0
+	// until enough runs are recorded) — the estimate the deadline check
+	// admits against.
+	TypicalRun time.Duration `json:"typical_run_ns"`
 }
 
 // Snapshot reports every source queue's stats, sorted by source ID.
@@ -236,62 +347,146 @@ func (d *Dispatcher) Close() {
 	}
 }
 
-// queue is one source's bounded channel of batches plus its workers.
+// queueHardCap is the minimum channel capacity a queue is created with.
+// The channel is allocated once (channels cannot be resized), so the
+// admission bound lives in a counter checked at submit time and the
+// channel only needs room for any bound a later Resize might set.
+const queueHardCap = 1024
+
+// queue is one source's bounded channel of batches plus the pump that
+// hands them to a resizable worker pool.
 type queue struct {
 	d      *Dispatcher
 	source string
-	lim    Limits
 	ch     chan *batch
+	sem    *semaphore
 
 	mu      sync.Mutex
+	lim     Limits            // live bounds; mutated only by resize
 	pending map[string]*batch // key -> in-flight batch accepting joiners
 	closed  bool
 
-	submitted, batched, queueFull, refused, cancelled atomic.Int64
+	// depth counts batches between submit and pump pickup. Incremented
+	// under mu (so the admission check never over-admits), decremented by
+	// the pump without mu — a stale-high read only sheds early, never
+	// over-fills.
+	depth atomic.Int64
 
-	cSubmitted, cBatched, cQueueFull, cRefused, cCancelled *obs.Counter
-	gDepth, gInflight                                      *obs.Gauge
-	hWait, hRun                                            *obs.Histogram
+	// runMu guards the recent-run ring feeding the deadline check.
+	runMu sync.Mutex
+	runs  [runRingSize]time.Duration
+	runN  int
+
+	submitted, batched, queueFull, refused, cancelled, doomed atomic.Int64
+
+	cSubmitted, cBatched, cQueueFull, cRefused, cCancelled, cDoomed *obs.Counter
+	gDepth, gInflight, gConcLimit, gQueueLimit                      *obs.Gauge
+	hWait, hRun                                                     *obs.Histogram
 }
 
 func newQueue(d *Dispatcher, source string, lim Limits) *queue {
 	reg := d.cfg.Metrics
 	l := func(name string) string { return obs.L(name, "source", source) }
-	return &queue{
-		d:          d,
-		source:     source,
-		lim:        lim,
-		ch:         make(chan *batch, lim.QueueDepth),
-		pending:    map[string]*batch{},
-		cSubmitted: reg.Counter(l(obs.MDispatchSubmitted)),
-		cBatched:   reg.Counter(l(obs.MDispatchBatched)),
-		cQueueFull: reg.Counter(l(obs.MDispatchQueueFull)),
-		cRefused:   reg.Counter(l(obs.MDispatchRefused)),
-		cCancelled: reg.Counter(l(obs.MDispatchCancelled)),
-		gDepth:     reg.Gauge(l(obs.MDispatchQueueDepth)),
-		gInflight:  reg.Gauge(l(obs.MDispatchInflight)),
-		hWait:      reg.Histogram(l(obs.MDispatchWaitSeconds)),
-		hRun:       reg.Histogram(l(obs.MDispatchRunSeconds)),
+	hard := lim.QueueDepth
+	if hard < queueHardCap {
+		hard = queueHardCap
 	}
+	q := &queue{
+		d:           d,
+		source:      source,
+		lim:         lim,
+		ch:          make(chan *batch, hard),
+		sem:         newSemaphore(lim.Concurrency),
+		pending:     map[string]*batch{},
+		cSubmitted:  reg.Counter(l(obs.MDispatchSubmitted)),
+		cBatched:    reg.Counter(l(obs.MDispatchBatched)),
+		cQueueFull:  reg.Counter(l(obs.MDispatchQueueFull)),
+		cRefused:    reg.Counter(l(obs.MDispatchRefused)),
+		cCancelled:  reg.Counter(l(obs.MDispatchCancelled)),
+		cDoomed:     reg.Counter(l(obs.MDispatchDoomed)),
+		gDepth:      reg.Gauge(l(obs.MDispatchQueueDepth)),
+		gInflight:   reg.Gauge(l(obs.MDispatchInflight)),
+		gConcLimit:  reg.Gauge(l(obs.MDispatchConcurrencyLimit)),
+		gQueueLimit: reg.Gauge(l(obs.MDispatchQueueLimit)),
+		hWait:       reg.Histogram(l(obs.MDispatchWaitSeconds)),
+		hRun:        reg.Histogram(l(obs.MDispatchRunSeconds)),
+	}
+	q.gConcLimit.Set(int64(lim.Concurrency))
+	q.gQueueLimit.Set(int64(lim.QueueDepth))
+	return q
+}
+
+// resize applies new live bounds (see Dispatcher.Resize for semantics).
+func (q *queue) resize(lim Limits) {
+	if hard := cap(q.ch); lim.QueueDepth > hard {
+		lim.QueueDepth = hard
+	}
+	q.mu.Lock()
+	q.lim = lim
+	q.mu.Unlock()
+	q.sem.setLimit(lim.Concurrency)
+	q.gConcLimit.Set(int64(lim.Concurrency))
+	q.gQueueLimit.Set(int64(lim.QueueDepth))
+}
+
+// limits reads the live bounds.
+func (q *queue) limits() Limits {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lim
+}
+
+// recordRun feeds one observed service time into the deadline check's
+// ring.
+func (q *queue) recordRun(d time.Duration) {
+	q.runMu.Lock()
+	q.runs[q.runN%runRingSize] = d
+	q.runN++
+	q.runMu.Unlock()
+}
+
+// typicalRun estimates the source's median service time from the
+// recent-run ring; ok is false below minRunSamples observations.
+func (q *queue) typicalRun() (med time.Duration, ok bool) {
+	q.runMu.Lock()
+	n := q.runN
+	if n > runRingSize {
+		n = runRingSize
+	}
+	if n < minRunSamples {
+		q.runMu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, q.runs[:n])
+	q.runMu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[n/2], true
 }
 
 func (q *queue) stat() QueueStat {
+	lim := q.limits()
+	med, _ := q.typicalRun()
 	return QueueStat{
-		Source:    q.source,
-		Workers:   q.lim.Concurrency,
-		QueueCap:  q.lim.QueueDepth,
-		Depth:     q.gDepth.Value(),
-		Inflight:  q.gInflight.Value(),
-		Submitted: q.submitted.Load(),
-		Batched:   q.batched.Load(),
-		QueueFull: q.queueFull.Load(),
-		Refused:   q.refused.Load(),
-		Cancelled: q.cancelled.Load(),
+		Source:     q.source,
+		Workers:    lim.Concurrency,
+		QueueCap:   lim.QueueDepth,
+		Depth:      q.gDepth.Value(),
+		Inflight:   q.gInflight.Value(),
+		Submitted:  q.submitted.Load(),
+		Batched:    q.batched.Load(),
+		QueueFull:  q.queueFull.Load(),
+		Refused:    q.refused.Load(),
+		Cancelled:  q.cancelled.Load(),
+		Doomed:     q.doomed.Load(),
+		TypicalRun: med,
 	}
 }
 
 // submit joins an in-flight batch for key or enqueues a new one,
-// shedding with ErrQueueFull when the queue is at its depth bound.
+// shedding with ErrQueueFull when the queue is at its depth bound and
+// with ErrDeadline when the caller's remaining budget cannot cover the
+// source's typical service time.
 func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -312,6 +507,39 @@ func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error
 			return &Ticket{q: q, b: b}, nil
 		}
 	}
+	// Deadline-aware admission, leaders only (a joiner rides a call that
+	// is running regardless): refuse work whose remaining budget cannot
+	// cover the source's observed median service time — it would only
+	// occupy queue and worker capacity on its way to a deadline error.
+	// The wall clock (not the injectable test clock) measures remaining
+	// budget, because context deadlines come from the wall clock; frozen
+	// -clock tests record zero-duration runs and are never doomed. An
+	// idle source (nothing in flight) always admits, so one probe at a
+	// time refreshes the estimate and a recovered source is not locked
+	// out by its slow history.
+	if deadline, hasDeadline := ctx.Deadline(); hasDeadline && q.gInflight.Value() > 0 {
+		if med, ok := q.typicalRun(); ok {
+			if remaining := time.Until(deadline); remaining < med {
+				q.mu.Unlock()
+				q.doomed.Add(1)
+				q.cDoomed.Inc()
+				return nil, fmt.Errorf("%w: %s (typical run %v, budget %v)",
+					ErrDeadline, q.source, med, remaining)
+			}
+		}
+	}
+	// The depth counter includes batches the pump is about to hand to a
+	// free worker (it decrements only once a batch wins a worker slot, so
+	// a batch parked behind a busy pool still counts as queued). Batches
+	// covered by free slots are therefore subtracted: they are "running
+	// imminently", not waiting, and must not consume the queue bound.
+	if q.depth.Load()-int64(q.sem.free()) >= int64(q.lim.QueueDepth) {
+		depth := q.lim.QueueDepth
+		q.mu.Unlock()
+		q.queueFull.Add(1)
+		q.cQueueFull.Inc()
+		return nil, fmt.Errorf("%w: %s (depth %d)", ErrQueueFull, q.source, depth)
+	}
 	// The batch context keeps the leader's values (trace, metrics) but
 	// detaches its cancellation: a batch serves every waiter, so it ends
 	// early only when all of them have abandoned it.
@@ -325,19 +553,24 @@ func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error
 		waiters:  1,
 		done:     make(chan struct{}),
 	}
-	// The depth gauge rises before the batch becomes visible on the
-	// channel: a worker decrements on receive, so incrementing after the
-	// send could transiently read -1.
+	// The depth counter and gauge rise before the batch becomes visible
+	// on the channel: the pump decrements on receive, so incrementing
+	// after the send could transiently read -1. The channel's fixed
+	// capacity is at least the clamped depth bound, so with depth checked
+	// under mu the send cannot block; the default arm is pure insurance.
+	q.depth.Add(1)
 	q.gDepth.Add(1)
 	select {
 	case q.ch <- b:
 	default:
+		q.depth.Add(-1)
 		q.gDepth.Add(-1)
+		depth := q.lim.QueueDepth
 		q.mu.Unlock()
 		cancel()
 		q.queueFull.Add(1)
 		q.cQueueFull.Inc()
-		return nil, fmt.Errorf("%w: %s (depth %d)", ErrQueueFull, q.source, q.lim.QueueDepth)
+		return nil, fmt.Errorf("%w: %s (depth %d)", ErrQueueFull, q.source, depth)
 	}
 	if key != "" {
 		q.pending[key] = b
@@ -348,11 +581,31 @@ func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error
 	return &Ticket{q: q, b: b, led: true}, nil
 }
 
-// worker serves batches until the queue's channel closes.
-func (q *queue) worker() {
+// pump serves batches until the queue's channel closes: it acquires a
+// slot from the resizable semaphore (the live concurrency bound) and
+// runs each batch on its own goroutine. Batches already abandoned or
+// refused resolve inline without a slot, so a drained or broken source's
+// queue empties fast even while its slots are busy.
+func (q *queue) pump() {
 	for b := range q.ch {
+		// The batch stays in the depth accounting until it either
+		// resolves inline or wins a slot: while the pump is parked at the
+		// semaphore the batch is still "waiting for a worker", and
+		// forgetting it early would quietly widen the admission bound by
+		// one.
+		if b.ctx.Err() != nil || (q.d.cfg.Refuse != nil && q.d.cfg.Refuse(q.source)) {
+			q.depth.Add(-1)
+			q.gDepth.Add(-1)
+			q.runBatch(b)
+			continue
+		}
+		q.sem.acquire()
+		q.depth.Add(-1)
 		q.gDepth.Add(-1)
-		q.runBatch(b)
+		go func(b *batch) {
+			defer q.sem.release()
+			q.runBatch(b)
+		}(b)
 	}
 }
 
@@ -388,6 +641,7 @@ func (q *queue) runBatch(b *batch) {
 		}()
 		b.ran = q.d.cfg.Now().Sub(start)
 		q.hRun.Observe(b.ran)
+		q.recordRun(b.ran)
 		q.gInflight.Add(-1)
 	}
 	q.mu.Lock()

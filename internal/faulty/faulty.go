@@ -136,6 +136,14 @@ func (in *injector) setFailing(down bool) {
 	in.down = down
 }
 
+// setLatency rewrites the base added latency for all subsequent calls —
+// a scripted slowdown (or recovery) mid-run.
+func (in *injector) setLatency(d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cfg.Latency = d
+}
+
 // calls reports how many calls the injector has decided.
 func (in *injector) count() int {
 	in.mu.Lock()
@@ -174,6 +182,11 @@ func WrapConn(inner client.Conn, cfg Config) *Conn {
 // SetFailing scripts an outage: true fails every call until SetFailing
 // (false) restores service. It overrides ErrorRate and the flap cycle.
 func (c *Conn) SetFailing(down bool) { c.in.setFailing(down) }
+
+// SetLatency changes the base latency added to every subsequent call,
+// overriding the construction-time Config.Latency — a scripted slowdown
+// for overload drills; pass the old value back to script recovery.
+func (c *Conn) SetLatency(d time.Duration) { c.in.setLatency(d) }
 
 // Calls reports how many calls reached the wrapper.
 func (c *Conn) Calls() int { return c.in.count() }

@@ -93,4 +93,37 @@ const (
 	MDispatchWaitSeconds = "starts_dispatch_wait_seconds"
 	// MDispatchRunSeconds is the histogram of task (wire call) durations.
 	MDispatchRunSeconds = "starts_dispatch_run_seconds"
+	// MDispatchDoomed counts submissions refused with ErrDeadline because
+	// the caller's remaining context budget could not cover the source's
+	// observed typical service time (deadline-aware admission).
+	MDispatchDoomed = "starts_dispatch_doomed_total"
+	// MDispatchConcurrencyLimit gauges the source's live worker bound —
+	// static unless an adaptive controller resizes it.
+	MDispatchConcurrencyLimit = "starts_dispatch_concurrency_limit"
+	// MDispatchQueueLimit gauges the source's live queue-depth bound.
+	MDispatchQueueLimit = "starts_dispatch_queue_limit"
+)
+
+// Canonical metric names of the adaptive admission controller
+// (internal/adaptive), which closes the loop from the dispatch and
+// breaker signals above back onto per-source dispatch limits. All carry
+// a source label except MAdaptiveTicks.
+const (
+	// MAdaptiveTicks counts controller evaluation rounds.
+	MAdaptiveTicks = "starts_adaptive_ticks_total"
+	// MAdaptiveIncreases counts additive-increase decisions (healthy
+	// window, limits grew).
+	MAdaptiveIncreases = "starts_adaptive_increases_total"
+	// MAdaptiveDecreases counts multiplicative-decrease decisions
+	// (latency SLO breach or broken breaker, limits shrank).
+	MAdaptiveDecreases = "starts_adaptive_decreases_total"
+	// MAdaptiveConcurrency gauges the controller's current concurrency
+	// limit per source (mirrors MDispatchConcurrencyLimit once applied).
+	MAdaptiveConcurrency = "starts_adaptive_concurrency"
+	// MAdaptiveQueueDepth gauges the controller's current queue-depth
+	// limit per source.
+	MAdaptiveQueueDepth = "starts_adaptive_queue_depth"
+	// MAdaptiveWindowSeconds gauges the last window's observed latency
+	// quantile per source, in nanoseconds (0 when the window was idle).
+	MAdaptiveWindowSeconds = "starts_adaptive_window_latency_ns"
 )

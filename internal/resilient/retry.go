@@ -213,7 +213,16 @@ func retryDo[T any](c *Conn, ctx context.Context, what string, f func(context.Co
 				return zero, fmt.Errorf("resilient: %s of %s: %w (last error: %w)",
 					what, c.inner.SourceID(), ErrBudgetExhausted, last)
 			}
-			if err := c.sleep(ctx, c.policy.backoff(attempt-1, c.jitter())); err != nil {
+			delay := c.policy.backoff(attempt-1, c.jitter())
+			// Never sleep past a deadline that dooms the attempt: if the
+			// remaining context budget is spent by the backoff itself, the
+			// retry could only time out — fail fast with the last real
+			// error instead of burning the caller's budget in a sleep.
+			if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
+				return zero, fmt.Errorf("resilient: %s of %s: backoff %v exceeds remaining deadline: %w (last error: %w)",
+					what, c.inner.SourceID(), delay, context.DeadlineExceeded, last)
+			}
+			if err := c.sleep(ctx, delay); err != nil {
 				return zero, fmt.Errorf("resilient: %s of %s interrupted during backoff: %w (last error: %w)",
 					what, c.inner.SourceID(), err, last)
 			}

@@ -228,3 +228,58 @@ func TestRetryBudgetRefills(t *testing.T) {
 		t.Errorf("inner calls = %d, want 6 (every call got its retry)", calls)
 	}
 }
+
+// TestRetryBackoffClampedToDeadline pins the deadline clamp: when the
+// next backoff would sleep past the context deadline, the retry loop
+// fails fast — no sleep, last real error wrapped — instead of burning
+// the caller's remaining budget on a doomed attempt.
+func TestRetryBackoffClampedToDeadline(t *testing.T) {
+	inner := &flakyConn{id: "S", err: errors.New("transient"), failN: 99}
+	c, slept := fastWrap(inner, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Second, // far beyond the context's budget
+		Jitter:      0.001,
+		Seed:        1,
+	}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Metadata(ctx)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded marker", err)
+	}
+	if !errors.Is(err, inner.err) {
+		t.Fatalf("err = %v, must wrap the last real error", err)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("slept %v; a doomed backoff must not sleep at all", *slept)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Errorf("took %v; the clamp exists to return well before the deadline", elapsed)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("inner calls = %d, want 1 (no retry after the clamp)", got)
+	}
+}
+
+// TestRetryBackoffFitsDeadline pins the other side: a backoff that fits
+// the remaining budget still sleeps and retries as before.
+func TestRetryBackoffFitsDeadline(t *testing.T) {
+	inner := &flakyConn{id: "S", err: errors.New("transient"), failN: 1}
+	c, slept := fastWrap(inner, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Seed:        1,
+	}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Metadata(ctx); err != nil {
+		t.Fatalf("retry under a roomy deadline failed: %v", err)
+	}
+	if len(*slept) != 1 {
+		t.Errorf("slept %v, want exactly one backoff", *slept)
+	}
+}

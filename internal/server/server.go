@@ -57,8 +57,10 @@ type Server struct {
 	traces  *obs.TraceRing
 	gate    *qcache.Gate
 
-	maxInflight  int
-	queueTimeout time.Duration
+	maxInflight       int
+	queueTimeout      time.Duration
+	admissionTarget   time.Duration
+	admissionInterval time.Duration
 }
 
 // Option configures a Server.
@@ -87,6 +89,20 @@ func WithMaxInflight(n int, queueTimeout time.Duration) Option {
 	}
 }
 
+// WithAdmissionTarget arms CoDel-style adaptive shedding on the query
+// gate (requires WithMaxInflight): once admissions have waited longer
+// than target for a full interval (qcache.DefaultAdmissionInterval if
+// zero), the gate sheds at entry at an accelerating rate until waits
+// fall back under target, so overload turns into cheap early 503s whose
+// Retry-After tracks the observed congestion. target <= 0 leaves the
+// plain timeout gate.
+func WithAdmissionTarget(target, interval time.Duration) Option {
+	return func(s *Server) {
+		s.admissionTarget = target
+		s.admissionInterval = interval
+	}
+}
+
 // New returns a server for the resource. baseURL (scheme://host[:port],
 // no trailing slash) is stamped into each source's exported metadata so
 // that harvested metadata points back at this server.
@@ -105,7 +121,13 @@ func New(res *source.Resource, baseURL string, opts ...Option) *Server {
 	if srv.traces == nil {
 		srv.traces = obs.NewTraceRing(32)
 	}
-	srv.gate = qcache.NewGate(srv.maxInflight, srv.queueTimeout, srv.metrics)
+	srv.gate = qcache.NewGateConfig(qcache.GateConfig{
+		MaxInflight:  srv.maxInflight,
+		QueueTimeout: srv.queueTimeout,
+		Target:       srv.admissionTarget,
+		Interval:     srv.admissionInterval,
+		Metrics:      srv.metrics,
+	})
 	srv.route("GET /resource", "resource", srv.handleResource)
 	srv.route("GET /sources/{id}/metadata", "metadata", srv.handleMetadata)
 	srv.route("GET /sources/{id}/summary", "summary", srv.handleSummary)
@@ -332,7 +354,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	release, err := s.gate.Acquire(r.Context())
 	if err != nil {
 		if errors.Is(err, qcache.ErrShed) {
-			w.Header().Set("Retry-After", "1")
+			// Back-off advice derived from the gate's live congestion
+			// (smoothed slot wait, doubled while it is in its dropping
+			// state) rather than a constant.
+			w.Header().Set("Retry-After", strconv.Itoa(s.gate.RetryAfter()))
 		}
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return

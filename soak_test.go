@@ -2,7 +2,10 @@ package starts_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -287,4 +290,293 @@ func TestFaultInjectionAcceptance(t *testing.T) {
 		}
 	}
 	t.Logf("%d/40 searches degraded under 30%% fault injection", degradedRuns)
+}
+
+// soakPercentile returns the q-th percentile of ds (q in (0,1]).
+func soakPercentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// TestAdaptiveOverloadSoak is the adaptive-admission acceptance scenario:
+// a fleet of four fast sources, one of which degrades mid-run to a
+// latency far past the per-source timeout. With the AIMD controller and
+// deadline-aware admission on, the run must show (1) the degraded
+// source's dispatch limits shrinking to the floor, (2) overall search
+// latency staying bounded because sheds — queue-full and doomed-deadline
+// refusals — concentrate on the degraded source instead of every search
+// waiting it out, and (3) the limits re-expanding once the source
+// recovers.
+func TestAdaptiveOverloadSoak(t *testing.T) {
+	const (
+		perSourceTimeout = 60 * time.Millisecond
+		healthyLatency   = 2 * time.Millisecond
+		degradedLatency  = 500 * time.Millisecond
+	)
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+		Timeout:           perSourceTimeout,
+		SourceConcurrency: 4,
+		QueueDepth:        8,
+		Adaptive: &starts.AdaptiveLimitsConfig{
+			LatencySLO:     25 * time.Millisecond,
+			Quantile:       0.5, // median: robust to stray slow runs in small windows
+			MaxConcurrency: 8,
+			MinQueueDepth:  2,
+		},
+	})
+	defer ms.Close()
+	var faulty []*starts.FaultyConn
+	for _, c := range resilienceFleet(t, 4) {
+		fc := starts.NewFaultyConn(c, starts.FaultConfig{Latency: healthyLatency})
+		faulty = append(faulty, fc)
+		ms.Add(fc)
+	}
+	ctx := context.Background()
+	if err := ms.Harvest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctl := ms.Adaptive()
+	// Distinct terms per burst member: identical concurrent queries would
+	// coalesce into one dispatch batch per source and never exercise the
+	// queue bound or the deadline check.
+	qs := []*starts.Query{
+		soakQuery(t, "databases"), soakQuery(t, "metasearch"),
+		soakQuery(t, "ranking"), soakQuery(t, "merging"),
+	}
+
+	// burst runs n concurrent searches and returns each one's duration.
+	burst := func(n int) []time.Duration {
+		t.Helper()
+		out := make([]time.Duration, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				start := time.Now()
+				ans, err := ms.Search(ctx, qs[i%len(qs)])
+				if err != nil {
+					t.Errorf("search errored (all-or-nothing): %v", err)
+					return
+				}
+				if len(ans.Documents) == 0 {
+					t.Error("search returned no documents")
+				}
+				out[i] = time.Since(start)
+			}(i)
+		}
+		wg.Wait()
+		return out
+	}
+	s0 := func() starts.DispatchQueueStat {
+		t.Helper()
+		for _, st := range ms.DispatchStats() {
+			if st.Source == "S0" {
+				return st
+			}
+		}
+		t.Fatal("no dispatch queue for S0")
+		return starts.DispatchQueueStat{}
+	}
+
+	// Healthy phase: measure the baseline and let the controller observe
+	// healthy windows (limits grow toward their ceiling).
+	var healthy []time.Duration
+	for i := 0; i < 15; i++ {
+		healthy = append(healthy, burst(4)...)
+		if i%4 == 3 {
+			ctl.Tick()
+		}
+	}
+	healthyP99 := soakPercentile(healthy, 0.99)
+	t.Logf("healthy baseline: p99 %v, S0 limits %d/%d", healthyP99, s0().Workers, s0().QueueCap)
+
+	// Fault introduction (unmeasured adaptation window): S0 degrades to a
+	// latency far past the per-source timeout. Every S0 run now burns the
+	// whole timeout, so breach ticks walk its limits down and the run ring
+	// learns a typical service time no caller's budget can cover.
+	faulty[0].SetLatency(degradedLatency)
+	shedsBefore := s0().QueueFull + s0().Doomed
+	adaptDeadline := time.Now().Add(15 * time.Second)
+	for s0().Workers > 1 || s0().QueueFull+s0().Doomed == shedsBefore {
+		if time.Now().After(adaptDeadline) {
+			t.Fatalf("S0 limits never shrank under overload: %+v", s0())
+		}
+		burst(4)
+		time.Sleep(2 * time.Millisecond)
+		ctl.Tick()
+	}
+	// Concurrency reaches its floor; queue depth has been cut
+	// multiplicatively at least once (the loop exits on the concurrency
+	// floor, which can arrive a tick before the depth floor).
+	st := s0()
+	if st.Workers != 1 || st.QueueCap >= 8 {
+		t.Fatalf("S0 limits = %d/%d after overload adaptation, want 1/<8", st.Workers, st.QueueCap)
+	}
+	t.Logf("overload adapted: S0 limits %d/%d, queue-full %d, doomed %d",
+		st.Workers, st.QueueCap, st.QueueFull, st.Doomed)
+
+	// Steady overload (measured): most searches must complete at healthy
+	// speed because S0 submissions are refused up front (doomed or
+	// queue-full) rather than queueing; at most one idle probe at a time
+	// rides out the timeout keeping the estimate fresh.
+	preStats := ms.DispatchStats()
+	var overload []time.Duration
+	for i := 0; i < 25; i++ {
+		overload = append(overload, burst(4)...)
+		if i%5 == 4 {
+			ctl.Tick()
+		}
+	}
+	// The baseline is floored at the per-source timeout: the claim is that
+	// overload costs at most one timeout-bounded probe, not that a
+	// machine-speed-dependent healthy p99 is preserved exactly.
+	base := healthyP99
+	if base < perSourceTimeout {
+		base = perSourceTimeout
+	}
+	overloadP99 := soakPercentile(overload, 0.99)
+	if overloadP99 > 2*base {
+		t.Errorf("overload p99 %v exceeds 2x baseline %v", overloadP99, base)
+	}
+	// Sheds concentrate on the degraded source: healthy sources must not
+	// pay for S0's meltdown.
+	var s0Sheds, allSheds int64
+	for i, st := range ms.DispatchStats() {
+		sheds := st.QueueFull + st.Doomed - (preStats[i].QueueFull + preStats[i].Doomed)
+		allSheds += sheds
+		if st.Source == "S0" {
+			s0Sheds = sheds
+		}
+	}
+	if s0Sheds == 0 {
+		t.Error("degraded source recorded no sheds during steady overload")
+	}
+	if allSheds > 0 && float64(s0Sheds)/float64(allSheds) < 0.8 {
+		t.Errorf("sheds not concentrated on S0: %d of %d", s0Sheds, allSheds)
+	}
+	t.Logf("steady overload: p99 %v (healthy p99 %v), S0 sheds %d/%d", overloadP99, healthyP99, s0Sheds, allSheds)
+
+	// Recovery: S0 speeds back up. Idle probes refresh the service-time
+	// estimate, healthy windows walk the limits back up, and searches
+	// reach S0 again without degradation.
+	faulty[0].SetLatency(healthyLatency)
+	recoverDeadline := time.Now().Add(20 * time.Second)
+	for s0().Workers < 3 {
+		if time.Now().After(recoverDeadline) {
+			t.Fatalf("S0 limits never re-expanded after recovery: %+v", s0())
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := ms.Search(ctx, qs[i%len(qs)]); err != nil {
+				t.Fatalf("recovery search errored: %v", err)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		ctl.Tick()
+	}
+	// Give the run ring time to flush its slow history, then verify a
+	// search reaches S0 cleanly end to end.
+	recovered := false
+	for attempt := 0; attempt < 50 && !recovered; attempt++ {
+		ans, err := ms.Search(ctx, qs[attempt%len(qs)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oc := ans.PerSource["S0"]; oc != nil && oc.Err == nil {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Error("no post-recovery search completed S0 cleanly")
+	}
+	t.Logf("recovered: S0 limits %d/%d", s0().Workers, s0().QueueCap)
+}
+
+// TestDeadlineShedsSurfaceTyped pins the error surface: a doomed
+// submission's outcome is detectable with errors.Is against
+// starts.ErrDispatchDeadline, so callers can tell budget refusals from
+// wire failures.
+func TestDeadlineShedsSurfaceTyped(t *testing.T) {
+	const timeout = 40 * time.Millisecond
+	ms := starts.NewMetasearcher(starts.MetasearcherOptions{
+		Timeout:           timeout,
+		SourceConcurrency: 1,
+		QueueDepth:        4,
+	})
+	defer ms.Close()
+	var fc *starts.FaultyConn
+	for i, c := range resilienceFleet(t, 2) {
+		if i == 0 {
+			fc = starts.NewFaultyConn(c, starts.FaultConfig{})
+			c = fc
+		}
+		ms.Add(c)
+	}
+	ctx := context.Background()
+	if err := ms.Harvest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s0 := func() starts.DispatchQueueStat {
+		t.Helper()
+		for _, st := range ms.DispatchStats() {
+			if st.Source == "S0" {
+				return st
+			}
+		}
+		t.Fatal("no dispatch queue for S0")
+		return starts.DispatchQueueStat{}
+	}
+	fc.SetLatency(300 * time.Millisecond)
+
+	// Warm the service-time estimate: sequential full-budget searches each
+	// burn the whole per-source timeout on S0 (S1 still answers, so the
+	// search itself succeeds), until the run ring's median settles near the
+	// timeout. Distinct terms below keep every phase on its own batch key —
+	// a coalesced joiner would bypass the deadline check entirely.
+	warmQ := soakQuery(t, "databases")
+	deadline := time.Now().Add(15 * time.Second)
+	for s0().TypicalRun < timeout/2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("S0 typical run never settled: %+v", s0())
+		}
+		if _, err := ms.Search(ctx, warmQ); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Probe: while a full-budget search keeps S0's single worker busy, a
+	// search whose remaining budget is far below the learned median must be
+	// refused up front with the typed deadline error.
+	busyQ := soakQuery(t, "metasearch")
+	probeQ := soakQuery(t, "ranking")
+	sawDeadline := false
+	for !sawDeadline && time.Now().Before(deadline) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			ms.Search(ctx, busyQ) // outcome irrelevant: it exists to occupy S0
+		}()
+		time.Sleep(5 * time.Millisecond) // let the busy search reach S0's worker
+		pctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+		ans, err := ms.Search(pctx, probeQ)
+		cancel()
+		<-done
+		if err != nil {
+			continue // whole-search failure (e.g. budget too tight for S1 too)
+		}
+		if oc := ans.PerSource["S0"]; oc != nil && errors.Is(oc.Err, starts.ErrDispatchDeadline) {
+			sawDeadline = true
+		}
+	}
+	if !sawDeadline {
+		t.Fatal("no per-source outcome carried ErrDispatchDeadline under sustained overload")
+	}
 }
