@@ -3,7 +3,7 @@
 GO      ?= go
 BINDIR  ?= /tmp/starts-bin
 
-.PHONY: build test vet race lint bench bench-dispatch warm soak tier1 tier2 check cli clean
+.PHONY: build test vet race lint bench bench-dispatch bench-wire warm soak tier1 tier2 check cli clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ warm:
 # BENCH_5.json.
 bench-dispatch:
 	$(GO) test -bench 'BenchmarkFanoutDispatched' -benchmem -run '^$$' .
+
+# bench-wire runs the multiplexed-transport benchmark (X12: distinct
+# concurrent queries, 2ms simulated RTT, one BatchConn wire call per
+# queue drain) at full benchtime and regenerates BENCH_7.json from the
+# run via tools/benchwire.
+bench-wire:
+	$(GO) test -bench 'BenchmarkFanoutMultiplexed' -benchmem -run '^$$' . > /tmp/benchwire.out
+	$(GO) run ./tools/benchwire < /tmp/benchwire.out > BENCH_7.json
+	@cat /tmp/benchwire.out
 
 # soak runs the long-haul resilience scenarios (breaker lifecycle, fault
 # injection, adaptive-admission overload) under the race detector.

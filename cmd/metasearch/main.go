@@ -62,6 +62,7 @@ func main() {
 		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection seed")
 		srcConcurrency  = flag.Int("source-concurrency", 0, "parallel wire calls per source (0 = default 4)")
 		srcQueue        = flag.Int("source-queue", 0, "queued batches per source before shedding with a fast error (0 = default 64)")
+		maxBatchWire    = flag.Int("max-batch-wire", 0, "distinct queued queries multiplexed into one wire call per batch-capable source (0 = default 16)")
 		adaptiveLimits  = flag.Bool("adaptive-limits", false, "self-tune per-source concurrency and queue depth: AIMD on observed latency and breaker state")
 		latencySLO      = flag.Duration("latency-slo", 0, "per-source latency objective driving -adaptive-limits decreases (0 = default 2s)")
 		adaptInterval   = flag.Duration("adaptive-interval", 0, "control-loop period for -adaptive-limits (0 = default 1s)")
@@ -95,7 +96,7 @@ func main() {
 		Selector: sel, Merger: mrg, MaxSources: *maxSources,
 		Timeout: *timeout, PostFilter: *verify, Budget: *budget,
 		Metrics:           reg,
-		SourceConcurrency: *srcConcurrency, QueueDepth: *srcQueue,
+		SourceConcurrency: *srcConcurrency, QueueDepth: *srcQueue, MaxBatchWire: *maxBatchWire,
 	}
 	if *cacheSize > 0 || *maxInflight > 0 || *warmFile != "" {
 		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{
@@ -117,12 +118,15 @@ func main() {
 		}
 	}
 	ms := starts.NewMetasearcher(opts)
+	// Per-call options instead of mutating shared state: the adaptive
+	// selector wraps the flag-chosen one for this run's search only.
+	var sopts []starts.SearchOption
 	if *adaptive {
 		as := ms.NewAdaptiveSelector(sel)
 		if br != nil {
 			as.Broken = br.Broken
 		}
-		ms.SetSelector(as)
+		sopts = append(sopts, starts.WithSelector(as))
 	}
 	// The per-conn stack, innermost first: faults are injected at the
 	// source, the observer times every attempt, and the retrier re-runs
@@ -190,7 +194,6 @@ func main() {
 	q.MaxResults = *max
 
 	var tr starts.Trace
-	var sopts []starts.SearchOption
 	if *trace {
 		sopts = append(sopts, starts.WithTrace(&tr))
 	}

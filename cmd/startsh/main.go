@@ -21,7 +21,9 @@
 //
 // Dispatch flags: -source-concurrency and -source-queue size each
 // source's worker pool and queue (stats shows the per-source dispatch
-// counters); -adaptive-limits re-tunes both live from observed latency
+// counters); -max-batch-wire bounds how many queued queries one wire
+// call multiplexes at a batch-capable source (the /query-batch
+// endpoint); -adaptive-limits re-tunes both live from observed latency
 // (AIMD against -latency-slo, every -adaptive-interval). With
 // -warm-file, -warm-interval snapshots the workload periodically instead
 // of only on quit; -debug-addr serves /metrics, /debug/workload,
@@ -58,6 +60,7 @@ func main() {
 		warmInterval    = flag.Duration("warm-interval", time.Minute, "snapshot the workload to -warm-file this often (and once on quit)")
 		srcConcurrency  = flag.Int("source-concurrency", 0, "parallel wire calls per source (0 = default 4)")
 		srcQueue        = flag.Int("source-queue", 0, "queued batches per source before shedding with a fast error (0 = default 64)")
+		maxBatchWire    = flag.Int("max-batch-wire", 0, "distinct queued queries multiplexed into one wire call per batch-capable source (0 = default 16)")
 		adaptiveLimits  = flag.Bool("adaptive-limits", false, "self-tune per-source concurrency and queue depth: AIMD on observed latency and breaker state")
 		latencySLO      = flag.Duration("latency-slo", 0, "per-source latency objective driving -adaptive-limits decreases (0 = default 2s)")
 		adaptInterval   = flag.Duration("adaptive-interval", 0, "control-loop period for -adaptive-limits (0 = default 1s)")
@@ -74,7 +77,7 @@ func main() {
 	reg := starts.NewMetricsRegistry()
 	opts := starts.MetasearcherOptions{
 		Timeout: 15 * time.Second, Budget: *budget, Metrics: reg,
-		SourceConcurrency: *srcConcurrency, QueueDepth: *srcQueue,
+		SourceConcurrency: *srcConcurrency, QueueDepth: *srcQueue, MaxBatchWire: *maxBatchWire,
 	}
 	if *cacheSize > 0 || *maxInflight > 0 || *warmFile != "" {
 		opts.Cache = starts.NewQueryCache(starts.QueryCacheConfig{

@@ -58,9 +58,7 @@ func main() {
 	for _, strategy := range []starts.MergeStrategy{
 		starts.MergeRawScore, starts.MergeScaled, starts.MergeRoundRobin, starts.MergeTermStats,
 	} {
-		msCopy := ms // same fleet, different merger
-		msCopy.SetMerger(strategy)
-		answer, err := msCopy.Search(ctx, q)
+		answer, err := ms.Search(ctx, q, starts.WithMerger(strategy))
 		if err != nil {
 			log.Fatal(err)
 		}

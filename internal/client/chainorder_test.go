@@ -145,6 +145,171 @@ func TestChainOrderWithCache(t *testing.T) {
 	}
 }
 
+// batchLeaf is a batch-capable leaf conn: QueryBatch counts wire calls
+// and items and can park until release closes (nil release = no gate).
+type batchLeaf struct {
+	flakyConn
+	wireCalls atomic.Int64
+	wireItems atomic.Int64
+	maxItems  atomic.Int64
+	release   chan struct{}
+}
+
+func (b *batchLeaf) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	rs, errs := b.QueryBatch(ctx, []*query.Query{q})
+	return rs[0], errs[0]
+}
+
+func (b *batchLeaf) QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error) {
+	b.wireCalls.Add(1)
+	b.wireItems.Add(int64(len(qs)))
+	for {
+		old := b.maxItems.Load()
+		if int64(len(qs)) <= old || b.maxItems.CompareAndSwap(old, int64(len(qs))) {
+			break
+		}
+	}
+	results := make([]*result.Results, len(qs))
+	errs := make([]error, len(qs))
+	if b.release != nil {
+		select {
+		case <-b.release:
+		case <-ctx.Done():
+			for i := range errs {
+				errs[i] = ctx.Err()
+			}
+			return results, errs
+		}
+	}
+	for i := range qs {
+		results[i] = &result.Results{Sources: []string{"S"}}
+	}
+	return results, errs
+}
+
+// TestChainOrderBatchCapability pins the capability-assertion rule on
+// the recommended chain observe(dispatch(cache(retry(conn)))): with a
+// BatchConn leaf every exported middleware passes QueryBatch through,
+// so the fully wrapped conn still multiplexes — and one queue drain of
+// distinct queries reaches the leaf as ONE wire call. A batch-blind
+// middleware anywhere in the chain downgrades it, which ChainBatch
+// reports.
+func TestChainOrderBatchCapability(t *testing.T) {
+	policy := resilient.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1}
+	mkQuery := func(term string) *query.Query {
+		q := query.New()
+		r, err := query.ParseRanking(`list((any "` + term + `"))`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Ranking = r
+		return q
+	}
+
+	t.Run("capability-survives-chain", func(t *testing.T) {
+		src := &batchLeaf{release: make(chan struct{})}
+		reg := obs.NewRegistry()
+		cache := qcache.New(qcache.Config{Metrics: reg})
+		d := dispatch.New(dispatch.Config{Limits: dispatch.Limits{Concurrency: 1}})
+		defer d.Close()
+		conn, ok := client.ChainBatch(src,
+			func(c client.Conn) client.Conn {
+				if bc, isBatch := c.(client.BatchConn); isBatch {
+					return resilient.WrapBatch(bc, policy, nil)
+				}
+				return resilient.Wrap(c, policy, nil)
+			},
+			func(c client.Conn) client.Conn { return qcache.WrapConn(c, cache) },
+			func(c client.Conn) client.Conn { return dispatch.WrapConn(c, d, dispatch.Limits{Concurrency: 1}) },
+			func(c client.Conn) client.Conn { return obs.WrapConn(c, reg) },
+		)
+		if !ok {
+			t.Fatal("ChainBatch reports the batch capability was dropped")
+		}
+		bc := conn.(client.BatchConn)
+
+		// Park the single worker on a decoy query, queue three distinct
+		// queries behind it, then open the gate: the freed worker drains
+		// all three into one leaf wire call.
+		decoyDone := make(chan struct{})
+		go func() {
+			defer close(decoyDone)
+			if _, err := conn.Query(context.Background(), mkQuery("decoy")); err != nil {
+				t.Errorf("decoy query: %v", err)
+			}
+		}()
+		deadline := time.Now().Add(2 * time.Second)
+		for src.wireCalls.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if src.wireCalls.Load() == 0 {
+			t.Fatal("decoy query never reached the leaf")
+		}
+
+		qs := []*query.Query{mkQuery("alpha"), mkQuery("beta"), mkQuery("gamma")}
+		batchDone := make(chan struct{})
+		var results []*result.Results
+		var errs []error
+		go func() {
+			defer close(batchDone)
+			results, errs = bc.QueryBatch(context.Background(), qs)
+		}()
+		// Wait until all three sit in the source queue before releasing
+		// the worker.
+		for time.Now().Before(deadline) {
+			depth := int64(0)
+			for _, st := range d.Snapshot() {
+				if st.Source == "S" {
+					depth = st.Depth
+				}
+			}
+			if depth >= 3 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(src.release)
+		<-decoyDone
+		<-batchDone
+
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("batch item %d: %v", i, err)
+			}
+			if results[i] == nil {
+				t.Fatalf("batch item %d: nil result", i)
+			}
+		}
+		if got := src.maxItems.Load(); got != 3 {
+			t.Errorf("largest leaf wire call carried %d items, want 3 (one call per drain)", got)
+		}
+		if got := src.wireCalls.Load(); got != 2 {
+			t.Errorf("leaf wire calls = %d, want 2 (decoy + one drained batch)", got)
+		}
+		// The observer saw the batch as a batch: one query-batch op and a
+		// recorded wire batch size.
+		if got := reg.Counter(obs.L("starts_conn_calls_total", "source", "S", "op", "query-batch")).Value(); got != 1 {
+			t.Errorf("observed query-batch calls = %d, want 1", got)
+		}
+		for _, st := range d.Snapshot() {
+			if st.Source == "S" {
+				if st.WireCalls != 2 || st.WireItems != 4 {
+					t.Errorf("dispatch wire stats = %d calls / %d items, want 2/4", st.WireCalls, st.WireItems)
+				}
+			}
+		}
+	})
+
+	t.Run("batch-blind-middleware-downgrades", func(t *testing.T) {
+		src := &batchLeaf{}
+		var n atomic.Int64
+		_, ok := client.ChainBatch(src, countingMW(&n))
+		if ok {
+			t.Error("ChainBatch must report a downgrade through a batch-blind middleware")
+		}
+	})
+}
+
 // gatedConn parks every Query until release closes, counting the calls
 // that reach it — the knob for holding a dispatch batch open while more
 // callers join it.

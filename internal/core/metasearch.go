@@ -79,6 +79,12 @@ type Options struct {
 	// submissions are shed with a typed dispatch.ErrQueueFull (surfaced
 	// in the per-source outcome). 0 takes dispatch.DefaultQueueDepth.
 	QueueDepth int
+	// MaxBatchWire bounds how many distinct queued queries a dispatch
+	// worker multiplexes into one wire call when a source's connection is
+	// batch-capable (client.BatchConn). 0 takes
+	// dispatch.DefaultMaxBatchWire; connections without batch support
+	// ignore it and keep one wire call per query.
+	MaxBatchWire int
 	// Adaptive, when set, builds a self-tuning admission controller over
 	// the dispatch layer: an AIMD loop that grows each source's
 	// concurrency and queue depth while its latency stays under the
@@ -170,7 +176,7 @@ func New(opts Options) *Metasearcher {
 		metrics:  opts.Metrics,
 		workload: qcache.NewRecorder(0),
 		dispatcher: dispatch.New(dispatch.Config{
-			Limits:  dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth},
+			Limits:  dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth, MaxBatchWire: opts.MaxBatchWire},
 			Refuse:  refuse,
 			Metrics: opts.Metrics,
 			Now:     opts.Now,
@@ -229,40 +235,6 @@ func (m *Metasearcher) Close() { m.dispatcher.Close() }
 // Metrics returns the registry this metasearcher records into.
 func (m *Metasearcher) Metrics() *obs.Registry { return m.metrics }
 
-// SetSelector replaces the source-selection strategy.
-//
-// Deprecated: mutating shared options races against in-flight searches;
-// pass WithSelector to Search (or set Options.Selector at construction)
-// instead.
-func (m *Metasearcher) SetSelector(s gloss.Selector) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.opts.Selector = s
-}
-
-// SetMerger replaces the rank-merging strategy.
-//
-// Deprecated: mutating shared options races against in-flight searches;
-// pass WithMerger to Search (or set Options.Merger at construction)
-// instead.
-func (m *Metasearcher) SetMerger(s merge.Strategy) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.opts.Merger = s
-}
-
-// SetMaxSources changes how many sources a query contacts (0 = all
-// promising ones).
-//
-// Deprecated: mutating shared options races against in-flight searches;
-// pass WithMaxSources to Search (or set Options.MaxSources at
-// construction) instead.
-func (m *Metasearcher) SetMaxSources(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.opts.MaxSources = n
-}
-
 // Add registers a source connection. Re-adding an ID replaces the
 // connection and invalidates its harvested state.
 func (m *Metasearcher) Add(c client.Conn) {
@@ -299,7 +271,7 @@ func (m *Metasearcher) expired(e *entry) bool {
 // after attempting all sources.
 func (m *Metasearcher) Harvest(ctx context.Context) error {
 	m.mu.RLock()
-	lim := dispatch.Limits{Concurrency: m.opts.SourceConcurrency, QueueDepth: m.opts.QueueDepth}
+	lim := dispatch.Limits{Concurrency: m.opts.SourceConcurrency, QueueDepth: m.opts.QueueDepth, MaxBatchWire: m.opts.MaxBatchWire}
 	m.mu.RUnlock()
 	for _, err := range m.harvestAll(ctx, lim) {
 		if err != nil {
@@ -754,7 +726,7 @@ func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options) (*
 	// healthy ones; its error is recorded in the answer instead.
 	hsp := tr.StartSpan("harvest")
 	harvestErrs := m.harvestAll(obs.WithSpan(ctx, hsp),
-		dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth})
+		dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth, MaxBatchWire: opts.MaxBatchWire})
 	hsp.Annotate("errors", strconv.Itoa(len(harvestErrs)))
 	hsp.End(nil)
 
@@ -1048,15 +1020,55 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 	// bounded by the same timeout applied inside the task.
 	wctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	ticket, err := m.dispatcher.Submit(obs.WithSpan(wctx, sp), id, batchKey(id, sent),
-		dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth},
-		func(tctx context.Context) (any, error) {
-			// The per-source Timeout bounds the wire call itself; the
-			// waiters' contexts only bound their willingness to wait.
-			qctx, cancel := context.WithTimeout(tctx, timeout)
-			defer cancel()
-			return conn.Query(qctx, sent)
-		})
+	lim := dispatch.Limits{Concurrency: opts.SourceConcurrency, QueueDepth: opts.QueueDepth, MaxBatchWire: opts.MaxBatchWire}
+	var ticket *dispatch.Ticket
+	var err error
+	if bconn, ok := conn.(client.BatchConn); ok {
+		// A batch-capable connection submits multiplexable work: the
+		// dispatch worker drains queued sub-queries for this source and
+		// issues them as ONE wire call, so a fan-out burst pays one round
+		// trip per drain instead of one per query. Per-item errors come
+		// back index-aligned, and the breaker gating below uses
+		// Ticket.FaultPrimary so a shared wire failure counts once.
+		ticket, err = m.dispatcher.SubmitMux(obs.WithSpan(wctx, sp), id, batchKey(id, sent), lim,
+			sent, func(gctx context.Context, items []any) ([]any, []error) {
+				qs := make([]*query.Query, len(items))
+				for i, it := range items {
+					qs[i] = it.(*query.Query)
+				}
+				// The per-source Timeout bounds the wire call itself; the
+				// waiters' contexts only bound their willingness to wait.
+				qctx, cancel := context.WithTimeout(gctx, timeout)
+				defer cancel()
+				rs, es := bconn.QueryBatch(qctx, qs)
+				vals := make([]any, len(items))
+				errs := make([]error, len(items))
+				if len(rs) != len(items) || len(es) != len(items) {
+					werr := fmt.Errorf("core: querying %s: batch returned %d results, %d errors for %d queries",
+						id, len(rs), len(es), len(items))
+					for i := range errs {
+						errs[i] = werr
+					}
+					return vals, errs
+				}
+				for i := range items {
+					if rs[i] != nil {
+						vals[i] = rs[i]
+					}
+					errs[i] = es[i]
+				}
+				return vals, errs
+			})
+	} else {
+		ticket, err = m.dispatcher.Submit(obs.WithSpan(wctx, sp), id, batchKey(id, sent), lim,
+			func(tctx context.Context) (any, error) {
+				// The per-source Timeout bounds the wire call itself; the
+				// waiters' contexts only bound their willingness to wait.
+				qctx, cancel := context.WithTimeout(tctx, timeout)
+				defer cancel()
+				return conn.Query(qctx, sent)
+			})
+	}
 	var res *result.Results
 	led := true
 	if err == nil {
@@ -1097,8 +1109,13 @@ func (m *Metasearcher) queryOne(ctx context.Context, id string, plan *sourcePlan
 	// outcome to report must still release its claim (on breakers that
 	// support it) — otherwise a half-open probe that was shed or that
 	// joined another batch would leave its circuit stuck refusing traffic.
+	// On the multiplexed path one wire call serves several batch members,
+	// so a shared failure must Record once: only the member whose failure
+	// is the call's primary fault (Ticket.FaultPrimary) charges the
+	// breaker; its groupmates Release instead.
 	if opts.Breaker != nil {
-		if led && !errors.Is(err, dispatch.ErrQueueFull) && !errors.Is(err, dispatch.ErrRefused) &&
+		if led && (err == nil || ticket == nil || ticket.FaultPrimary()) &&
+			!errors.Is(err, dispatch.ErrQueueFull) && !errors.Is(err, dispatch.ErrRefused) &&
 			!errors.Is(err, dispatch.ErrDeadline) && !errors.Is(err, dispatch.ErrClosed) {
 			opts.Breaker.Record(id, err)
 		} else if rel, ok := opts.Breaker.(interface{ Release(id string) }); ok {

@@ -276,20 +276,19 @@ func TestSearchOptionsDoNotMutateShared(t *testing.T) {
 	}
 }
 
-// TestDeprecatedSettersStillWork pins the compatibility promise on the
-// deprecated mutators.
-func TestDeprecatedSettersStillWork(t *testing.T) {
+// TestSearchOptionsReplaceSetters pins the migration path for the
+// removed SetSelector/SetMerger/SetMaxSources mutators: the same
+// strategy swap now rides per-call SearchOptions.
+func TestSearchOptionsReplaceSetters(t *testing.T) {
 	ms, _ := fleet(t)
-	ms.SetSelector(gloss.VMax{})
-	ms.SetMerger(merge.RoundRobin{})
-	ms.SetMaxSources(1)
 	q := rankingQuery(t, `list((body-of-text "databases"))`)
-	ans, err := ms.Search(context.Background(), q)
+	ans, err := ms.Search(context.Background(), q,
+		WithSelector(gloss.VMax{}), WithMerger(merge.RoundRobin{}), WithMaxSources(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ans.Contacted) != 1 {
-		t.Errorf("SetMaxSources(1) contacted %v", ans.Contacted)
+		t.Errorf("WithMaxSources(1) contacted %v", ans.Contacted)
 	}
 }
 

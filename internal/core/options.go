@@ -106,6 +106,18 @@ func WithQueueDepth(n int) SearchOption {
 	}
 }
 
+// WithMaxBatchWire bounds how many distinct queued queries one wire call
+// multiplexes for this search's batch-capable sources (0 = the
+// dispatcher default). Like WithSourceConcurrency, it applies only to
+// queues first touched by this search.
+func WithMaxBatchWire(n int) SearchOption {
+	return func(c *searchConfig) {
+		if n > 0 {
+			c.MaxBatchWire = n
+		}
+	}
+}
+
 // WithTrace records this search's span tree into t (its zero value is
 // fine; Search re-begins it), so the caller keeps the trace even when it
 // discards the answer:

@@ -36,8 +36,18 @@ type Conn struct {
 }
 
 // WrapConn wraps inner so its traffic flows through d under the source's
-// limits (zero Limits fields take the dispatcher's defaults).
-func WrapConn(inner SourceConn, d *Dispatcher, lim Limits) *Conn {
+// limits (zero Limits fields take the dispatcher's defaults). A
+// batch-capable inner (BatchSourceConn) gets the batch-capable wrapper,
+// whose Query multiplexes distinct queued queries onto shared wire
+// calls; any other inner gets the plain per-call wrapper.
+func WrapConn(inner SourceConn, d *Dispatcher, lim Limits) SourceConn {
+	if bi, ok := inner.(BatchSourceConn); ok {
+		return WrapBatchConn(bi, d, lim)
+	}
+	return newConn(inner, d, lim)
+}
+
+func newConn(inner SourceConn, d *Dispatcher, lim Limits) *Conn {
 	return &Conn{
 		inner: inner,
 		d:     d,

@@ -1,0 +1,109 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// BatchSourceConn is a SourceConn that can evaluate several queries in
+// one wire call (structurally client.BatchConn; declared here so the
+// dependency keeps pointing outward).
+type BatchSourceConn interface {
+	SourceConn
+	QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error)
+}
+
+// BatchConn is the dispatching middleware over a batch-capable source:
+// Query submits through SubmitMux, so distinct queries queued for the
+// source multiplex into single wire calls when a worker drains the
+// queue — the dispatcher's MaxBatchWire bound and the inner QueryBatch
+// seam together turn one RTT per sub-query into one RTT per drain.
+type BatchConn struct {
+	*Conn
+	binner BatchSourceConn
+}
+
+var _ BatchSourceConn = (*BatchConn)(nil)
+
+// WrapBatchConn wraps a batch-capable inner so its traffic flows
+// through d like WrapConn's, with distinct queued queries additionally
+// multiplexed onto shared wire calls. Prefer WrapConn, which picks this
+// variant automatically.
+func WrapBatchConn(inner BatchSourceConn, d *Dispatcher, lim Limits) *BatchConn {
+	return &BatchConn{Conn: newConn(inner, d, lim), binner: inner}
+}
+
+// exec is the group executor handed to SubmitMux: one inner QueryBatch
+// call for a whole queue drain.
+func (c *BatchConn) exec(ctx context.Context, items []any) ([]any, []error) {
+	qs := make([]*query.Query, len(items))
+	for i, it := range items {
+		qs[i] = it.(*query.Query)
+	}
+	rs, errs := c.binner.QueryBatch(ctx, qs)
+	if len(rs) != len(items) || len(errs) != len(items) {
+		errs = make([]error, len(items))
+		for i := range errs {
+			errs[i] = fmt.Errorf("dispatch: %s: QueryBatch returned %d results, %d errors for %d queries",
+				c.binner.SourceID(), len(rs), len(errs), len(items))
+		}
+		return make([]any, len(items)), errs
+	}
+	vals := make([]any, len(items))
+	for i, r := range rs {
+		vals[i] = r
+	}
+	return vals, errs
+}
+
+// Query evaluates q at the source through the dispatcher's mux path:
+// identical in-flight queries still coalesce by fingerprint, and
+// distinct ones share wire calls per queue drain.
+func (c *BatchConn) Query(ctx context.Context, q *query.Query) (*result.Results, error) {
+	t, err := c.d.SubmitMux(ctx, c.inner.SourceID(), c.keyer.Key(q), c.lim, q, c.exec)
+	if err != nil {
+		return nil, err
+	}
+	v, err := t.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*result.Results)
+	if t.Fanout() > 1 {
+		res = res.Clone()
+	}
+	return res, nil
+}
+
+// QueryBatch implements BatchSourceConn: each query submits through the
+// mux path individually and the dispatcher regroups them (with any
+// other queued work for the source) into wire calls, so an outer batch
+// still honors the per-source queue bounds, coalescing and breaker
+// refusal that per-item submission gets.
+func (c *BatchConn) QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error) {
+	results := make([]*result.Results, len(qs))
+	errs := make([]error, len(qs))
+	tickets := make([]*Ticket, len(qs))
+	for i, q := range qs {
+		tickets[i], errs[i] = c.d.SubmitMux(ctx, c.inner.SourceID(), c.keyer.Key(q), c.lim, q, c.exec)
+	}
+	for i, t := range tickets {
+		if t == nil {
+			continue
+		}
+		v, err := t.Wait(ctx)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		res := v.(*result.Results)
+		if t.Fanout() > 1 {
+			res = res.Clone()
+		}
+		results[i] = res
+	}
+	return results, errs
+}

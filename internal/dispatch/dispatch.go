@@ -46,6 +46,9 @@ const (
 	// DefaultQueueDepth is the default bound on batches waiting per
 	// source before Submit sheds with ErrQueueFull.
 	DefaultQueueDepth = 64
+	// DefaultMaxBatchWire is the default bound on queued mux submissions
+	// a worker drains into one wire call (see SubmitMux).
+	DefaultMaxBatchWire = 16
 )
 
 // Typed dispatch failures, detectable with errors.Is.
@@ -99,6 +102,10 @@ type Limits struct {
 	Concurrency int
 	// QueueDepth bounds batches waiting for a worker.
 	QueueDepth int
+	// MaxBatchWire bounds how many queued mux submissions (SubmitMux) a
+	// worker drains into a single wire call. 1 disables wire batching;
+	// zero takes the default (DefaultMaxBatchWire).
+	MaxBatchWire int
 }
 
 // withDefaults fills zero fields from fallback, then from the package
@@ -115,6 +122,12 @@ func (l Limits) withDefaults(fallback Limits) Limits {
 	}
 	if l.QueueDepth <= 0 {
 		l.QueueDepth = DefaultQueueDepth
+	}
+	if l.MaxBatchWire <= 0 {
+		l.MaxBatchWire = fallback.MaxBatchWire
+	}
+	if l.MaxBatchWire <= 0 {
+		l.MaxBatchWire = DefaultMaxBatchWire
 	}
 	return l
 }
@@ -172,7 +185,7 @@ func (d *Dispatcher) Submit(ctx context.Context, source, key string, lim Limits,
 	if err != nil {
 		return nil, err
 	}
-	return q.submit(ctx, key, fn)
+	return q.submit(ctx, key, fn, nil, nil)
 }
 
 // queueFor returns the source's queue, creating it (and starting its
@@ -299,6 +312,12 @@ type QueueStat struct {
 	// remaining context budget could not cover the source's observed
 	// typical service time.
 	Doomed int64 `json:"doomed"`
+	// WireCalls counts wire calls actually issued; WireItems counts the
+	// queue items they carried (a multiplexed drain contributes one call
+	// and several items, so 1 - WireCalls/WireItems is the batched-wire
+	// ratio).
+	WireCalls int64 `json:"wire_calls"`
+	WireItems int64 `json:"wire_items"`
 	// TypicalRun is the source's current median observed service time (0
 	// until enough runs are recorded) — the estimate the deadline check
 	// admits against.
@@ -378,11 +397,18 @@ type queue struct {
 	runN  int
 
 	submitted, batched, queueFull, refused, cancelled, doomed atomic.Int64
+	wireCalls, wireItems                                      atomic.Int64
 
 	cSubmitted, cBatched, cQueueFull, cRefused, cCancelled, cDoomed *obs.Counter
+	cWireCalls, cWireItems                                          *obs.Counter
 	gDepth, gInflight, gConcLimit, gQueueLimit                      *obs.Gauge
-	hWait, hRun                                                     *obs.Histogram
+	hWait, hRun, hWireSize                                          *obs.Histogram
 }
+
+// wireSizeBounds are the bucket bounds of the items-per-wire-call
+// histogram: counts, not durations (a size n is observed as
+// time.Duration(n)).
+var wireSizeBounds = []time.Duration{1, 2, 4, 8, 16, 32, 64}
 
 func newQueue(d *Dispatcher, source string, lim Limits) *queue {
 	reg := d.cfg.Metrics
@@ -404,12 +430,15 @@ func newQueue(d *Dispatcher, source string, lim Limits) *queue {
 		cRefused:    reg.Counter(l(obs.MDispatchRefused)),
 		cCancelled:  reg.Counter(l(obs.MDispatchCancelled)),
 		cDoomed:     reg.Counter(l(obs.MDispatchDoomed)),
+		cWireCalls:  reg.Counter(l(obs.MDispatchWireCalls)),
+		cWireItems:  reg.Counter(l(obs.MDispatchWireItems)),
 		gDepth:      reg.Gauge(l(obs.MDispatchQueueDepth)),
 		gInflight:   reg.Gauge(l(obs.MDispatchInflight)),
 		gConcLimit:  reg.Gauge(l(obs.MDispatchConcurrencyLimit)),
 		gQueueLimit: reg.Gauge(l(obs.MDispatchQueueLimit)),
 		hWait:       reg.Histogram(l(obs.MDispatchWaitSeconds)),
 		hRun:        reg.Histogram(l(obs.MDispatchRunSeconds)),
+		hWireSize:   reg.HistogramBuckets(l(obs.MDispatchWireSize), wireSizeBounds),
 	}
 	q.gConcLimit.Set(int64(lim.Concurrency))
 	q.gQueueLimit.Set(int64(lim.QueueDepth))
@@ -479,6 +508,8 @@ func (q *queue) stat() QueueStat {
 		Refused:    q.refused.Load(),
 		Cancelled:  q.cancelled.Load(),
 		Doomed:     q.doomed.Load(),
+		WireCalls:  q.wireCalls.Load(),
+		WireItems:  q.wireItems.Load(),
 		TypicalRun: med,
 	}
 }
@@ -487,7 +518,7 @@ func (q *queue) stat() QueueStat {
 // shedding with ErrQueueFull when the queue is at its depth bound and
 // with ErrDeadline when the caller's remaining budget cannot cover the
 // source's typical service time.
-func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error) {
+func (q *queue) submit(ctx context.Context, key string, fn Task, item any, exec MuxExec) (*Ticket, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -547,11 +578,16 @@ func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error
 	b := &batch{
 		key:      key,
 		fn:       fn,
+		item:     item,
+		exec:     exec,
 		ctx:      bctx,
 		cancel:   cancel,
 		enqueued: q.d.cfg.Now(),
 		waiters:  1,
 		done:     make(chan struct{}),
+		// Until a multiplexed group run says otherwise, every batch is
+		// the primary fault of its own wire call.
+		faultPrimary: true,
 	}
 	// The depth counter and gauge rise before the batch becomes visible
 	// on the channel: the pump decrements on receive, so incrementing
@@ -586,8 +622,25 @@ func (q *queue) submit(ctx context.Context, key string, fn Task) (*Ticket, error
 // runs each batch on its own goroutine. Batches already abandoned or
 // refused resolve inline without a slot, so a drained or broken source's
 // queue empties fast even while its slots are busy.
+//
+// When the batch at the head is a mux submission, the pump drains up to
+// MaxBatchWire-1 further mux batches off the queue into the same worker
+// slot — one wire call for the whole drain (runGroup). A non-mux batch
+// encountered mid-drain is stashed, not skipped: the pump is a single
+// goroutine, so the stash is checked before the channel on the next
+// iteration and FIFO order is preserved.
 func (q *queue) pump() {
-	for b := range q.ch {
+	var stash *batch
+	for {
+		var b *batch
+		if stash != nil {
+			b, stash = stash, nil
+		} else {
+			var ok bool
+			if b, ok = <-q.ch; !ok {
+				return
+			}
+		}
 		// The batch stays in the depth accounting until it either
 		// resolves inline or wins a slot: while the pump is parked at the
 		// semaphore the batch is still "waiting for a worker", and
@@ -602,10 +655,46 @@ func (q *queue) pump() {
 		q.sem.acquire()
 		q.depth.Add(-1)
 		q.gDepth.Add(-1)
-		go func(b *batch) {
+		if b.exec == nil {
+			go func(b *batch) {
+				defer q.sem.release()
+				q.runBatch(b)
+			}(b)
+			continue
+		}
+		group := []*batch{b}
+		max := q.limits().MaxBatchWire
+	drain:
+		for len(group) < max {
+			select {
+			case nb, ok := <-q.ch:
+				if !ok {
+					break drain
+				}
+				switch {
+				case nb.ctx.Err() != nil || (q.d.cfg.Refuse != nil && q.d.cfg.Refuse(q.source)):
+					// Resolves without running; costs no slot.
+					q.depth.Add(-1)
+					q.gDepth.Add(-1)
+					q.runBatch(nb)
+				case nb.exec == nil:
+					// A plain task cannot join a wire group; it keeps its
+					// depth accounting and runs on the next pump iteration.
+					stash = nb
+					break drain
+				default:
+					q.depth.Add(-1)
+					q.gDepth.Add(-1)
+					group = append(group, nb)
+				}
+			default:
+				break drain
+			}
+		}
+		go func(group []*batch) {
 			defer q.sem.release()
-			q.runBatch(b)
-		}(b)
+			q.runGroup(group)
+		}(group)
 	}
 }
 
@@ -616,7 +705,6 @@ func (q *queue) pump() {
 // later identical submit starts a fresh batch instead of joining a
 // finished one.
 func (q *queue) runBatch(b *batch) {
-	defer b.cancel()
 	b.waited = q.d.cfg.Now().Sub(b.enqueued)
 	q.hWait.Observe(b.waited)
 	switch {
@@ -637,13 +725,44 @@ func (q *queue) runBatch(b *batch) {
 					b.err = fmt.Errorf("dispatch: %s: task panicked: %v", q.source, r)
 				}
 			}()
-			b.val, b.err = b.fn(b.ctx)
+			if b.exec != nil {
+				// A mux batch that reached the single-task path (e.g. a
+				// pre-check race routed it here) still runs: a group of one.
+				vals, errs := b.exec(b.ctx, []any{b.item})
+				if len(vals) == 1 && len(errs) == 1 {
+					b.val, b.err = vals[0], errs[0]
+				} else {
+					b.err = fmt.Errorf("dispatch: %s: mux exec returned %d values, %d errors for 1 item",
+						q.source, len(vals), len(errs))
+				}
+			} else {
+				b.val, b.err = b.fn(b.ctx)
+			}
 		}()
 		b.ran = q.d.cfg.Now().Sub(start)
 		q.hRun.Observe(b.ran)
 		q.recordRun(b.ran)
 		q.gInflight.Add(-1)
+		q.countWire(1)
 	}
+	q.resolve(b)
+}
+
+// countWire accounts one wire call that carried n queue items.
+func (q *queue) countWire(n int) {
+	q.wireCalls.Add(1)
+	q.cWireCalls.Inc()
+	q.wireItems.Add(int64(n))
+	q.cWireItems.Add(int64(n))
+	q.hWireSize.Observe(time.Duration(n))
+}
+
+// resolve publishes a finished batch: it leaves the pending map before
+// done closes, mirroring qcache's flightGroup, so a later identical
+// submit starts a fresh batch instead of joining a finished one. The
+// batch context is cancelled last — after resolution it has no further
+// use, and cancelling it signals any group-context watcher.
+func (q *queue) resolve(b *batch) {
 	q.mu.Lock()
 	if b.key != "" && q.pending[b.key] == b {
 		delete(q.pending, b.key)
@@ -651,6 +770,7 @@ func (q *queue) runBatch(b *batch) {
 	b.fanout = b.waiters
 	q.mu.Unlock()
 	close(b.done)
+	b.cancel()
 }
 
 // batch is one (possibly shared) unit of queued work. val, err, waited,
@@ -659,7 +779,9 @@ func (q *queue) runBatch(b *batch) {
 // the queue mutex.
 type batch struct {
 	key      string
-	fn       Task
+	fn       Task    // single-task submissions (Submit)
+	item     any     // mux submissions (SubmitMux): the per-item input
+	exec     MuxExec // mux submissions: the group executor
 	ctx      context.Context
 	cancel   context.CancelFunc
 	enqueued time.Time
@@ -672,6 +794,10 @@ type batch struct {
 	waited time.Duration
 	ran    time.Duration
 	fanout int
+	// faultPrimary marks the batch whose failure is its wire call's
+	// primary fault: always true for single-task runs, true for exactly
+	// one failed member of a multiplexed group (see Ticket.FaultPrimary).
+	faultPrimary bool
 }
 
 // Ticket is one waiter's handle on a submitted batch.

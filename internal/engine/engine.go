@@ -312,15 +312,20 @@ func (e *Engine) scoreDocs(matched map[int]bool, ranking query.Expr, opts index.
 // rankEvaluator caches term matches for one query execution.
 type rankEvaluator struct {
 	matches map[string]*index.TermMatch // keyed by term.String()
+	nodes   map[*query.TermExpr]*index.TermMatch
 	terms   []query.Term
-	n       int
-	ix      *index.Index
-	scorer  Scorer
+	// termMatches[i] is the match for terms[i], so per-document paths
+	// never re-derive the map key.
+	termMatches []*index.TermMatch
+	n           int
+	ix          *index.Index
+	scorer      Scorer
 }
 
 func (e *Engine) newRankEvaluator(ranking query.Expr, opts index.LookupOptions) (*rankEvaluator, error) {
 	ev := &rankEvaluator{
 		matches: map[string]*index.TermMatch{},
+		nodes:   map[*query.TermExpr]*index.TermMatch{},
 		n:       e.ix.NumDocs(),
 		ix:      e.ix,
 		scorer:  e.cfg.Scorer,
@@ -336,13 +341,28 @@ func (e *Engine) newRankEvaluator(ranking query.Expr, opts index.LookupOptions) 
 		}
 		ev.matches[key] = m
 		ev.terms = append(ev.terms, t)
+		ev.termMatches = append(ev.termMatches, m)
 	}
 	return ev, nil
 }
 
-// termWeight returns the scorer weight of term t in document id.
-func (ev *rankEvaluator) termWeight(t query.Term, id int) float64 {
-	m := ev.matches[t.String()]
+// nodeWeight is the scorer weight for an expression node on the per-document
+// scoring path: the term-match lookup is memoized per node pointer, so
+// the SOIF map key (Term.String allocates) is derived once per query
+// instead of once per scored document.
+func (ev *rankEvaluator) nodeWeight(t *query.TermExpr, id int) float64 {
+	m, ok := ev.nodes[t]
+	if !ok {
+		m = ev.matches[t.Term.String()]
+		ev.nodes[t] = m
+	}
+	return ev.matchWeight(m, id)
+}
+
+func (ev *rankEvaluator) matchWeight(m *index.TermMatch, id int) float64 {
+	if m == nil {
+		return 0
+	}
 	info := m.Docs[id]
 	if info == nil {
 		return 0
@@ -357,7 +377,7 @@ func (ev *rankEvaluator) termWeight(t query.Term, id int) float64 {
 func (ev *rankEvaluator) score(expr query.Expr, id int) float64 {
 	switch n := expr.(type) {
 	case *query.TermExpr:
-		return ev.termWeight(n.Term, id) * n.EffectiveWeight()
+		return ev.nodeWeight(n, id) * n.EffectiveWeight()
 	case *query.Bin:
 		l, r := ev.score(n.L, id), ev.score(n.R, id)
 		switch n.Op {
@@ -372,7 +392,8 @@ func (ev *rankEvaluator) score(expr query.Expr, id int) float64 {
 			return l
 		}
 	case *query.Prox:
-		l, r := ev.score(&query.TermExpr{Term: n.L.Term}, id), ev.score(&query.TermExpr{Term: n.R.Term}, id)
+		l := ev.nodeWeight(n.L, id) * n.L.EffectiveWeight()
+		r := ev.nodeWeight(n.R, id) * n.R.EffectiveWeight()
 		if l > 0 && r > 0 {
 			// Both terms present; approximate the positional check with
 			// presence (full positional prox applies in filters). A
@@ -386,7 +407,7 @@ func (ev *rankEvaluator) score(expr query.Expr, id int) float64 {
 			w := 1.0
 			if t, ok := it.(*query.TermExpr); ok {
 				w = t.EffectiveWeight()
-				sum += w * ev.termWeight(t.Term, id)
+				sum += w * ev.nodeWeight(t, id)
 			} else {
 				sum += ev.score(it, id)
 			}
@@ -403,8 +424,8 @@ func (ev *rankEvaluator) score(expr query.Expr, id int) float64 {
 // statsFor assembles the TermStats reported with a result document.
 func (ev *rankEvaluator) statsFor(id int, e *Engine) []result.TermStat {
 	var stats []result.TermStat
-	for _, t := range ev.terms {
-		m := ev.matches[t.String()]
+	for i, t := range ev.terms {
+		m := ev.termMatches[i]
 		info := m.Docs[id]
 		if info == nil {
 			continue
@@ -414,7 +435,7 @@ func (ev *rankEvaluator) statsFor(id int, e *Engine) []result.TermStat {
 		stats = append(stats, result.TermStat{
 			Term:    rt,
 			Freq:    info.Freq,
-			Weight:  round4(ev.termWeight(t, id)),
+			Weight:  round4(ev.matchWeight(m, id)),
 			DocFreq: m.DocFreq(),
 		})
 	}

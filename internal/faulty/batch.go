@@ -1,0 +1,39 @@
+package faulty
+
+import (
+	"context"
+
+	"starts/internal/client"
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// BatchConn wraps a batch-capable client.Conn with fault injection. The
+// injector gates once per wire call, not per item — an injected fault
+// fails the whole batch, which is exactly what a broken wire does to a
+// multiplexed request — so fault sequences stay aligned with the number
+// of round trips actually attempted.
+type BatchConn struct {
+	*Conn
+	binner client.BatchConn
+}
+
+var _ client.BatchConn = (*BatchConn)(nil)
+
+// WrapBatch returns a fault-injecting wrapper around a batch-capable
+// inner.
+func WrapBatch(inner client.BatchConn, cfg Config) *BatchConn {
+	return &BatchConn{Conn: WrapConn(inner, cfg), binner: inner}
+}
+
+// QueryBatch implements client.BatchConn.
+func (c *BatchConn) QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error) {
+	if err := c.gate(ctx, "query-batch"); err != nil {
+		errs := make([]error, len(qs))
+		for i := range errs {
+			errs[i] = err
+		}
+		return make([]*result.Results, len(qs)), errs
+	}
+	return c.binner.QueryBatch(ctx, qs)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// BatchSourceConn is a SourceConn that can evaluate several queries in
+// one wire call (structurally client.BatchConn; declared here so the
+// dependency keeps pointing outward).
+type BatchSourceConn interface {
+	SourceConn
+	QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error)
+}
+
+// batchSizeBounds are the bucket bounds of the starts_wire_batch_size
+// histogram: counts, not durations (a size n is observed as
+// time.Duration(n)).
+var batchSizeBounds = []time.Duration{1, 2, 4, 8, 16, 32, 64}
+
+// BatchConn instruments a batch-capable source connection. On top of
+// the per-call metrics the plain wrapper records, each QueryBatch
+// observes the wire call once (op "query-batch") plus every item's
+// outcome (op "query-item"), and feeds the batch size into
+// starts_wire_batch_size — so wire-level multiplexing never becomes an
+// observability blind spot: the histogram shows how well drains
+// amortize, and the per-item counters keep error rates comparable with
+// the unbatched path.
+type BatchConn struct {
+	*Conn
+	binner BatchSourceConn
+}
+
+var _ BatchSourceConn = (*BatchConn)(nil)
+
+// WrapBatchConn wraps a batch-capable inner like WrapConn. Prefer
+// WrapConn, which picks this variant automatically.
+func WrapBatchConn(inner BatchSourceConn, reg *Registry) *BatchConn {
+	return &BatchConn{Conn: newConn(inner, reg), binner: inner}
+}
+
+// QueryBatch implements BatchSourceConn.
+func (c *BatchConn) QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error) {
+	id := c.binner.SourceID()
+	sp := SpanFrom(ctx).Child("conn.query-batch")
+	sp.SetSource(id)
+	sp.Annotate("items", strconv.Itoa(len(qs)))
+	start := time.Now()
+	results, errs := c.binner.QueryBatch(WithSpan(ctx, sp), qs)
+	elapsed := time.Since(start)
+	c.reg.Counter(L("starts_conn_calls_total", "source", id, "op", "query-batch")).Inc()
+	c.reg.Histogram(L("starts_conn_seconds", "source", id, "op", "query-batch")).Observe(elapsed)
+	c.reg.HistogramBuckets(L(MWireBatchSize, "source", id), batchSizeBounds).
+		Observe(time.Duration(len(qs)))
+	var firstErr error
+	var docs, failed int64
+	for i := range qs {
+		c.reg.Counter(L("starts_conn_calls_total", "source", id, "op", "query-item")).Inc()
+		var err error
+		if i < len(errs) {
+			err = errs[i]
+		}
+		switch {
+		case err != nil:
+			failed++
+			c.reg.Counter(L("starts_conn_errors_total", "source", id, "op", "query-item")).Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
+		case i < len(results) && results[i] != nil:
+			docs += int64(len(results[i].Documents))
+		}
+	}
+	if docs > 0 {
+		c.reg.Counter(L("starts_conn_docs_total", "source", id)).Add(docs)
+	}
+	if failed > 0 {
+		sp.Annotate("failed_items", strconv.FormatInt(failed, 10))
+		c.reg.Counter(L("starts_conn_errors_total", "source", id, "op", "query-batch")).Inc()
+	}
+	sp.End(firstErr)
+	return results, errs
+}

@@ -44,8 +44,17 @@ var _ SourceConn = (*Conn)(nil)
 
 // WrapConn returns an instrumented wrapper around inner recording into
 // reg. A nil registry still produces spans; a bare context still records
-// metrics — each half degrades independently.
-func WrapConn(inner SourceConn, reg *Registry) *Conn {
+// metrics — each half degrades independently. A batch-capable inner
+// (BatchSourceConn) gets the batch-capable wrapper, so the capability
+// passes through the chain instead of silently downgrading.
+func WrapConn(inner SourceConn, reg *Registry) SourceConn {
+	if bi, ok := inner.(BatchSourceConn); ok {
+		return WrapBatchConn(bi, reg)
+	}
+	return newConn(inner, reg)
+}
+
+func newConn(inner SourceConn, reg *Registry) *Conn {
 	return &Conn{inner: inner, reg: reg}
 }
 

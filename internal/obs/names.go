@@ -102,7 +102,23 @@ const (
 	MDispatchConcurrencyLimit = "starts_dispatch_concurrency_limit"
 	// MDispatchQueueLimit gauges the source's live queue-depth bound.
 	MDispatchQueueLimit = "starts_dispatch_queue_limit"
+	// MDispatchWireCalls counts wire calls actually issued — single-task
+	// runs and multiplexed group runs alike.
+	MDispatchWireCalls = "starts_dispatch_wire_calls_total"
+	// MDispatchWireItems counts the queue items those wire calls carried;
+	// MDispatchWireItems / MDispatchWireCalls is the wire amortization
+	// factor, and 1 - calls/items the batched-wire ratio.
+	MDispatchWireItems = "starts_dispatch_wire_items_total"
+	// MDispatchWireSize is the histogram of items per dispatch wire call
+	// (bucket bounds are counts, not durations).
+	MDispatchWireSize = "starts_dispatch_wire_batch_size"
 )
+
+// MWireBatchSize is obs.WrapConn's histogram of QueryBatch sizes —
+// items per batch call as seen at the conn middleware, so wire-level
+// multiplexing stays observable wherever the observe layer sits in the
+// chain (bucket bounds are counts, not durations).
+const MWireBatchSize = "starts_wire_batch_size"
 
 // Canonical metric names of the adaptive admission controller
 // (internal/adaptive), which closes the loop from the dispatch and

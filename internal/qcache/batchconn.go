@@ -1,0 +1,78 @@
+package qcache
+
+import (
+	"context"
+
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// BatchSourceConn is a SourceConn that can evaluate several queries in
+// one wire call (structurally client.BatchConn; declared here so the
+// dependency keeps pointing outward).
+type BatchSourceConn interface {
+	SourceConn
+	QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error)
+}
+
+// BatchConn is the caching middleware over a batch-capable source: a
+// QueryBatch serves what it can from cache and forwards only the misses
+// — still as one inner wire call — then fills the cache with each
+// successful miss under the same freshness-derived TTL the per-item
+// path uses. Hits cost no wire traffic at all, and a shrunken miss
+// batch still amortizes one round trip.
+//
+// Unlike the per-item Query path, batch lookups do not coalesce with
+// in-flight fills or serve stale (Get is strict); the dispatch layer
+// above already coalesces identical in-flight queries by fingerprint.
+type BatchConn struct {
+	*Conn
+	binner BatchSourceConn
+}
+
+var _ BatchSourceConn = (*BatchConn)(nil)
+
+// WrapBatchConn wraps a batch-capable inner like WrapConn. Prefer
+// WrapConn, which picks this variant automatically.
+func WrapBatchConn(inner BatchSourceConn, cache *Cache) *BatchConn {
+	return &BatchConn{Conn: newConn(inner, cache), binner: inner}
+}
+
+// QueryBatch implements BatchSourceConn.
+func (c *BatchConn) QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error) {
+	if c.cache == nil {
+		return c.binner.QueryBatch(ctx, qs)
+	}
+	results := make([]*result.Results, len(qs))
+	errs := make([]error, len(qs))
+	var missIdx []int
+	var missQs []*query.Query
+	for i, q := range qs {
+		if v, ok := c.cache.Get(c.keyer.Key(q)); ok {
+			// Cached results are shared; batch consumers get the same
+			// read-only contract the per-item path documents.
+			results[i] = v.(*result.Results)
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missQs = append(missQs, q)
+	}
+	if len(missQs) == 0 {
+		return results, errs
+	}
+	mres, merrs := c.binner.QueryBatch(ctx, missQs)
+	ttl := c.freshTTL()
+	for j, i := range missIdx {
+		if j < len(merrs) && merrs[j] != nil {
+			errs[i] = merrs[j]
+			continue
+		}
+		if j < len(mres) {
+			results[i] = mres[j]
+			if mres[j] != nil {
+				c.cache.PutTTL(c.keyer.Key(missQs[j]), mres[j], ttl)
+			}
+		}
+	}
+	return results, errs
+}

@@ -62,8 +62,17 @@ var _ SourceConn = (*Conn)(nil)
 
 // WrapConn returns a caching wrapper for inner backed by cache. Keys are
 // scoped by the source ID, so sources sharing one cache never collide. A
-// nil cache passes everything through.
-func WrapConn(inner SourceConn, cache *Cache) *Conn {
+// nil cache passes everything through. A batch-capable inner
+// (BatchSourceConn) gets the batch-capable wrapper, so the capability
+// passes through the chain instead of silently downgrading.
+func WrapConn(inner SourceConn, cache *Cache) SourceConn {
+	if bi, ok := inner.(BatchSourceConn); ok {
+		return WrapBatchConn(bi, cache)
+	}
+	return newConn(inner, cache)
+}
+
+func newConn(inner SourceConn, cache *Cache) *Conn {
 	return &Conn{inner: inner, cache: cache, keyer: Keyer{Scope: "conn/" + inner.SourceID()}}
 }
 

@@ -1,0 +1,106 @@
+package resilient
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"starts/internal/client"
+	"starts/internal/obs"
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// BatchConn wraps a batch-capable client.Conn with retries. A batch's
+// failed-but-retryable items are re-sent as a smaller batch on the next
+// attempt — the shrunken retry still amortizes one round trip — while
+// items that already succeeded (or failed permanently) keep their
+// outcome. The budget charges what actually hits the wire: one deposit
+// per fresh QueryBatch, one withdrawal per retry wire call, regardless
+// of how many items ride it.
+type BatchConn struct {
+	*Conn
+	binner client.BatchConn
+}
+
+var _ client.BatchConn = (*BatchConn)(nil)
+
+// WrapBatch returns a retrying wrapper around a batch-capable inner,
+// with the same policy/budget semantics as Wrap.
+func WrapBatch(inner client.BatchConn, policy RetryPolicy, budget *Budget) *BatchConn {
+	return &BatchConn{Conn: Wrap(inner, policy, budget), binner: inner}
+}
+
+// QueryBatch implements client.BatchConn.
+func (c *BatchConn) QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error) {
+	results := make([]*result.Results, len(qs))
+	errs := make([]error, len(qs))
+	if c.budget != nil {
+		c.budget.deposit()
+	}
+	// pending maps the positions still unresolved into the original
+	// slices; each attempt re-sends exactly those.
+	pending := make([]int, len(qs))
+	pendQs := make([]*query.Query, len(qs))
+	for i, q := range qs {
+		pending[i], pendQs[i] = i, q
+	}
+	id := c.inner.SourceID()
+	failAll := func(idx []int, err error) {
+		for _, i := range idx {
+			errs[i] = err
+		}
+	}
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if c.budget != nil && !c.budget.withdraw() {
+				for _, i := range pending {
+					errs[i] = fmt.Errorf("resilient: query-batch of %s: %w (last error: %w)",
+						id, ErrBudgetExhausted, errs[i])
+				}
+				return results, errs
+			}
+			delay := c.policy.backoff(attempt-1, c.jitter())
+			if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
+				for _, i := range pending {
+					errs[i] = fmt.Errorf("resilient: query-batch of %s: backoff %v exceeds remaining deadline: %w (last error: %w)",
+						id, delay, context.DeadlineExceeded, errs[i])
+				}
+				return results, errs
+			}
+			if serr := c.sleep(ctx, delay); serr != nil {
+				for _, i := range pending {
+					errs[i] = fmt.Errorf("resilient: query-batch of %s interrupted during backoff: %w (last error: %w)",
+						id, serr, errs[i])
+				}
+				return results, errs
+			}
+			obs.MetricsFrom(ctx).Counter(obs.L("starts_retries_total", "source", id)).Inc()
+			obs.Annotate(ctx, "retry", fmt.Sprintf("query-batch attempt %d, %d items", attempt+1, len(pending)))
+		}
+		rs, es := c.binner.QueryBatch(ctx, pendQs)
+		if len(rs) != len(pendQs) || len(es) != len(pendQs) {
+			failAll(pending, fmt.Errorf("resilient: query-batch of %s: inner returned %d results, %d errors for %d queries",
+				id, len(rs), len(es), len(pendQs)))
+			return results, errs
+		}
+		var nextIdx []int
+		var nextQs []*query.Query
+		for j, i := range pending {
+			results[i], errs[i] = rs[j], es[j]
+			if es[j] != nil && Retryable(es[j]) && ctx.Err() == nil {
+				nextIdx = append(nextIdx, i)
+				nextQs = append(nextQs, pendQs[j])
+			}
+		}
+		if len(nextIdx) == 0 {
+			return results, errs
+		}
+		pending, pendQs = nextIdx, nextQs
+	}
+	for _, i := range pending {
+		errs[i] = fmt.Errorf("resilient: query-batch of %s failed after %d attempts: %w",
+			id, c.policy.MaxAttempts, errs[i])
+	}
+	return results, errs
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"starts/internal/obs"
+	"starts/internal/qcache"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/soif"
+	"starts/internal/source"
+)
+
+// maxBatchBytes bounds an accepted batch request body; each query is
+// small (maxQueryBytes), a drain is at most a few dozen of them.
+const maxBatchBytes = 16 << 20
+
+// maxBatchItems bounds the sub-queries one batch request may carry, so
+// a single request cannot fan out unbounded server-side work.
+const maxBatchItems = 256
+
+// handleQueryBatch evaluates a multi-query request — the body is a
+// stream of @SQuery objects — concurrently, and streams each item's
+// result back as an @SQBatchItem frame the moment it completes, in
+// completion order. A failed item gets an error frame; the rest of the
+// batch is unaffected. The whole batch costs one admission-gate slot
+// and one HTTP round trip.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.source(w, r)
+	if !ok {
+		return
+	}
+	release, err := s.gate.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, qcache.ErrShed) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.gate.RetryAfter()))
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+	tr := obs.NewTrace("query-batch " + src.ID())
+	defer func() {
+		tr.Finish()
+		s.traces.Add(tr)
+	}()
+	dsp := tr.StartSpan("decode")
+	qs, err := decodeBatchRequest(r.Body)
+	if err != nil {
+		dsp.End(err)
+		status := http.StatusBadRequest
+		if errors.Is(err, errBatchTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	dsp.Annotate("items", strconv.Itoa(len(qs)))
+	dsp.End(nil)
+
+	// From here on the response streams: headers go out before any item
+	// finishes, so per-item failures are framed in-band, not as statuses.
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	var (
+		writeMu  sync.Mutex
+		enc      = soif.NewEncoder(w)
+		flusher  http.Flusher
+		docs     int64
+		writeErr error
+	)
+	if f, ok := w.(http.Flusher); ok {
+		flusher = f
+	}
+	ssp := tr.StartSpan("search")
+	ssp.SetSource(src.ID())
+	var wg sync.WaitGroup
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q *query.Query) {
+			defer wg.Done()
+			if batchItemGate != nil {
+				batchItemGate(i)
+			}
+			rr, qerr := searchOne(s.res, src, q)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if writeErr != nil {
+				// The connection already broke; nothing more to send.
+				return
+			}
+			if qerr == nil {
+				docs += int64(len(rr.Documents))
+			}
+			if werr := result.EncodeBatchItem(enc, i, rr, qerr); werr != nil {
+				writeErr = werr
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	ssp.Annotate("docs", strconv.FormatInt(docs, 10))
+	ssp.End(writeErr)
+	s.metrics.Counter(obs.L("starts_server_query_docs_total", "source", src.ID())).Add(docs)
+	s.metrics.Counter(obs.L("starts_server_batch_items_total", "source", src.ID())).
+		Add(int64(len(qs)))
+}
+
+// batchItemGate, when non-nil (tests only), runs before a batch item is
+// evaluated; the streaming test holds one item open with it while
+// asserting the other items' frames are already readable on the wire.
+var batchItemGate func(index int)
+
+// searchOne evaluates one batch item with the same routing rule as the
+// single-query handler: queries naming additional same-resource sources
+// go through the resource (which deduplicates), plain ones go straight
+// to the source.
+func searchOne(res *source.Resource, src *source.Source, q *query.Query) (*result.Results, error) {
+	if len(q.Sources) > 0 {
+		return res.Search(src.ID(), q)
+	}
+	return src.Search(q)
+}
+
+var errBatchTooLarge = errors.New("batch request too large")
+
+// decodeBatchRequest reads the request body as a stream of @SQuery
+// objects.
+func decodeBatchRequest(body io.Reader) ([]*query.Query, error) {
+	dec := soif.NewDecoder(io.LimitReader(body, maxBatchBytes+1))
+	var qs []*query.Query
+	for {
+		obj, err := dec.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("malformed batch query %d: %w", len(qs), err)
+		}
+		q, err := query.FromSOIF(obj)
+		if err != nil {
+			return nil, fmt.Errorf("malformed batch query %d: %w", len(qs), err)
+		}
+		qs = append(qs, q)
+		if len(qs) > maxBatchItems {
+			return nil, errBatchTooLarge
+		}
+	}
+	if len(qs) == 0 {
+		return nil, errors.New("empty batch: body must carry at least one @SQuery")
+	}
+	return qs, nil
+}

@@ -8,6 +8,8 @@
 //	GET  /sources/{id}/summary   -> @SContentSummary
 //	GET  /sources/{id}/sample    -> sample-database results stream
 //	POST /sources/{id}/query     -> @SQResults stream (body: @SQuery)
+//	POST /sources/{id}/query-batch -> @SQBatchItem-framed stream, one
+//	     frame per sub-query in completion order (body: @SQuery stream)
 //
 // All communication is sessionless and the sources are stateless, per
 // Section 4.
@@ -133,6 +135,7 @@ func New(res *source.Resource, baseURL string, opts ...Option) *Server {
 	srv.route("GET /sources/{id}/summary", "summary", srv.handleSummary)
 	srv.route("GET /sources/{id}/sample", "sample", srv.handleSample)
 	srv.route("POST /sources/{id}/query", "query", srv.handleQuery)
+	srv.route("POST /sources/{id}/query-batch", "query-batch", srv.handleQueryBatch)
 	srv.mux.Handle("GET /metrics", srv.metrics.Handler())
 	srv.mux.Handle("GET /debug/last-traces", srv.traces.Handler())
 	return srv
@@ -170,6 +173,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// streaming handlers (the batch query route) can push each frame to the
+// client the moment it is written.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // ServeHTTP implements http.Handler.

@@ -122,6 +122,13 @@ type (
 	Client = client.Client
 	// Conn is one queryable source, local or remote.
 	Conn = client.Conn
+	// BatchConn is a Conn that can evaluate several queries in ONE wire
+	// call (QueryBatch), the transport seam behind wire-level
+	// multiplexing: the metasearcher's dispatch layer drains a source's
+	// queued sub-queries and issues them as a single round trip when the
+	// source's conn supports it. NewHTTPConn and NewLocalConn both return
+	// batch-capable conns; assert with ChainBatchConn after wrapping.
+	BatchConn = client.BatchConn
 )
 
 // ServerOption configures a Server.
@@ -255,6 +262,11 @@ func WithSourceConcurrency(n int) SearchOption { return core.WithSourceConcurren
 // dispatcher sheds with ErrQueueFull; first-touch only, like
 // WithSourceConcurrency.
 func WithQueueDepth(n int) SearchOption { return core.WithQueueDepth(n) }
+
+// WithMaxBatchWire bounds how many distinct queued queries one wire call
+// multiplexes for this search's batch-capable (BatchConn) sources;
+// first-touch only, like WithSourceConcurrency.
+func WithMaxBatchWire(n int) SearchOption { return core.WithMaxBatchWire(n) }
 
 // Query-result caching and load shedding.
 type (
@@ -426,7 +438,11 @@ type (
 )
 
 // NewRetryConn wraps a Conn with retries; budget may be nil or shared.
+// A batch-capable conn stays batch-capable.
 func NewRetryConn(c Conn, p RetryPolicy, budget *RetryBudget) Conn {
+	if bc, ok := c.(BatchConn); ok {
+		return resilient.WrapBatch(bc, p, budget)
+	}
 	return resilient.Wrap(c, p, budget)
 }
 
@@ -456,16 +472,44 @@ type ConnMiddleware = client.Middleware
 //		starts.RetryMiddleware(policy, budget)) // retries observed faults
 //
 // Nil middlewares are skipped.
+//
+// Capability rule: every middleware this package exports is
+// batch-transparent — wrapping a BatchConn yields a BatchConn — so a
+// chain over a batch-capable transport keeps its QueryBatch seam from
+// leaf to outermost wrapper. A custom middleware that returns a plain
+// Conn silently downgrades the chain to one wire call per query; use
+// ChainBatchConn to detect that.
 func ChainConn(conn Conn, mw ...ConnMiddleware) Conn { return client.Chain(conn, mw...) }
 
-// RetryMiddleware is NewRetryConn as a ConnMiddleware.
-func RetryMiddleware(p RetryPolicy, budget *RetryBudget) ConnMiddleware {
-	return func(c Conn) Conn { return resilient.Wrap(c, p, budget) }
+// ChainBatchConn is ChainConn plus a capability report: ok is true when
+// the fully wrapped conn still implements BatchConn, i.e. no middleware
+// in the chain dropped the batch seam.
+func ChainBatchConn(conn Conn, mw ...ConnMiddleware) (Conn, bool) {
+	return client.ChainBatch(conn, mw...)
 }
 
-// FaultyMiddleware is NewFaultyConn as a ConnMiddleware.
+// RetryMiddleware is NewRetryConn as a ConnMiddleware. A batch-capable
+// conn stays batch-capable: failed-but-retryable batch items are re-sent
+// as a smaller batch on the next attempt.
+func RetryMiddleware(p RetryPolicy, budget *RetryBudget) ConnMiddleware {
+	return func(c Conn) Conn {
+		if bc, ok := c.(BatchConn); ok {
+			return resilient.WrapBatch(bc, p, budget)
+		}
+		return resilient.Wrap(c, p, budget)
+	}
+}
+
+// FaultyMiddleware is NewFaultyConn as a ConnMiddleware. A batch-capable
+// conn stays batch-capable: the injector gates once per wire call, so an
+// injected fault fails the whole batch like a broken wire would.
 func FaultyMiddleware(cfg FaultConfig) ConnMiddleware {
-	return func(c Conn) Conn { return faulty.WrapConn(c, cfg) }
+	return func(c Conn) Conn {
+		if bc, ok := c.(BatchConn); ok {
+			return faulty.WrapBatch(bc, cfg)
+		}
+		return faulty.WrapConn(c, cfg)
+	}
 }
 
 // ObserveMiddleware is WrapConn as a ConnMiddleware.
