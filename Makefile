@@ -3,7 +3,7 @@
 GO      ?= go
 BINDIR  ?= /tmp/starts-bin
 
-.PHONY: build test vet race lint bench bench-dispatch bench-wire warm soak tier1 tier2 check cli clean
+.PHONY: build test vet race lint bench bench-dispatch bench-wire bench-peer warm soak tier1 tier2 check cli clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,15 @@ bench-wire:
 	$(GO) test -bench 'BenchmarkFanoutMultiplexed' -benchmem -run '^$$' . > /tmp/benchwire.out
 	$(GO) run ./tools/benchwire < /tmp/benchwire.out > BENCH_7.json
 	@cat /tmp/benchwire.out
+
+# bench-peer runs the distributed-cache-tier benchmark (X13: cold
+# pipeline vs node-local hit vs cross-peer remote hit over loopback
+# HTTP, all at the 2ms simulated source RTT) at full benchtime and
+# regenerates BENCH_8.json from the run via tools/benchpeer.
+bench-peer:
+	$(GO) test -bench 'BenchmarkPeerCluster' -benchmem -run '^$$' . > /tmp/benchpeer.out
+	$(GO) run ./tools/benchpeer < /tmp/benchpeer.out > BENCH_8.json
+	@cat /tmp/benchpeer.out
 
 # soak runs the long-haul resilience scenarios (breaker lifecycle, fault
 # injection, adaptive-admission overload) under the race detector.

@@ -15,6 +15,12 @@
 // dispatch concurrency and queue depth), and -fault-rate/-fault-latency
 // /-fault-seed (client-side fault injection for testing).
 //
+// Distributed tier: -peers shards a per-source result cache across a
+// fleet of metasearchers on a consistent-hash ring (-peer-replicas
+// virtual nodes each; -peer-self names this process's own entry); a
+// query any peer has answered is a remote cache hit here, and a dead
+// peer degrades to a local miss within -peer-timeout.
+//
 // -trace prints the search's span tree (harvest, select, translate,
 // per-source fan-out, merge — with per-conn call spans and retry
 // annotations nested inside) and a metrics snapshot to stderr.
@@ -66,6 +72,10 @@ func main() {
 		adaptiveLimits  = flag.Bool("adaptive-limits", false, "self-tune per-source concurrency and queue depth: AIMD on observed latency and breaker state")
 		latencySLO      = flag.Duration("latency-slo", 0, "per-source latency objective driving -adaptive-limits decreases (0 = default 2s)")
 		adaptInterval   = flag.Duration("adaptive-interval", 0, "control-loop period for -adaptive-limits (0 = default 1s)")
+		peers           = flag.String("peers", "", "comma-separated peer base URLs forming the distributed per-source result-cache ring")
+		peerSelf        = flag.String("peer-self", "", "this process's own URL among -peers (empty = pure client of the ring)")
+		peerReplicas    = flag.Int("peer-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = default 64)")
+		peerTimeout     = flag.Duration("peer-timeout", 0, "per-peer-call budget before degrading to the local store (0 = default 150ms)")
 		trace           = flag.Bool("trace", false, "print the search's span tree and a metrics snapshot to stderr")
 	)
 	flag.Parse()
@@ -144,13 +154,32 @@ func main() {
 			MaxAttempts: *retries + 1, BaseDelay: *retryBase,
 		}, retryBudget))
 	}
+	// The distributed cache tier: per-source results live in a query
+	// cache whose store is sharded across the -peers ring, so a query
+	// answered by any peer is a remote hit here. Appended last, the cache
+	// sits outermost — outside the retrier (retries re-run the source,
+	// never the cache) with peer lookups behind bounded timeouts and
+	// per-peer breakers (a dead peer is a local miss, not a stall).
+	if *peers != "" {
+		ps := starts.NewPeerStore(starts.PeerStoreConfig{
+			Self:     *peerSelf,
+			Peers:    splitList(*peers),
+			Replicas: *peerReplicas,
+			Timeout:  *peerTimeout,
+			Codec:    starts.PeerResultsCodec,
+			Metrics:  reg,
+		})
+		mw = append(mw, starts.CacheMiddleware(starts.NewQueryCache(starts.QueryCacheConfig{
+			Store: ps, TTL: *cacheTTL, Metrics: reg,
+		})))
+	}
 	ctx := context.Background()
 	if *adaptiveLimits {
 		ms.StartAdaptive(ctx)
 	}
 	hc := starts.NewClient(nil)
-	for _, url := range strings.Split(*resources, ",") {
-		conns, err := hc.Discover(ctx, strings.TrimSpace(url))
+	for _, url := range splitList(*resources) {
+		conns, err := hc.Discover(ctx, url)
 		if err != nil {
 			log.Fatalf("metasearch: discovering %s: %v", url, err)
 		}
@@ -231,4 +260,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "metasearch: saving warm file: %v\n", werr)
 		}
 	}
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }

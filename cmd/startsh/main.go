@@ -29,6 +29,13 @@
 // of only on quit; -debug-addr serves /metrics, /debug/workload,
 // /debug/dispatch and /debug/adaptive for inspection while the shell
 // runs.
+//
+// Distributed tier: -peers shards the per-source result cache across a
+// fleet of metasearchers on a consistent-hash ring; this shell serves
+// its own ring share (and GET /debug/peers) on -debug-addr. With
+// -broker-addr the shell also publishes ITSELF as a STARTS source
+// (ZBroker-style), so a front metasearcher can discover it at
+// /resource and route queries here by this region's GlOSS summary.
 package main
 
 import (
@@ -65,6 +72,12 @@ func main() {
 		latencySLO      = flag.Duration("latency-slo", 0, "per-source latency objective driving -adaptive-limits decreases (0 = default 2s)")
 		adaptInterval   = flag.Duration("adaptive-interval", 0, "control-loop period for -adaptive-limits (0 = default 1s)")
 		debugAddr       = flag.String("debug-addr", "", "serve /metrics, /debug/workload, /debug/dispatch and /debug/adaptive on this address (e.g. 127.0.0.1:6060)")
+		peers           = flag.String("peers", "", "comma-separated peer base URLs forming the distributed per-source result-cache ring")
+		peerSelf        = flag.String("peer-self", "", "this shell's own URL among -peers (empty = http://<debug-addr>, or a pure client without one)")
+		peerReplicas    = flag.Int("peer-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = default 64)")
+		peerTimeout     = flag.Duration("peer-timeout", 0, "per-peer-call budget before degrading to the local store (0 = default 150ms)")
+		brokerAddr      = flag.String("broker-addr", "", "serve this metasearcher as a STARTS source on this address (ZBroker-style; a front metasearcher can discover it at /resource)")
+		brokerID        = flag.String("broker-id", "broker", "source id this metasearcher publishes under with -broker-addr")
 		trace           = flag.Bool("trace", false, "print each q/f search's span tree")
 	)
 	flag.Parse()
@@ -107,8 +120,30 @@ func main() {
 		retryBudget := &starts.RetryBudget{}
 		mw = append(mw, starts.RetryMiddleware(starts.RetryPolicy{MaxAttempts: *retries + 1}, retryBudget))
 	}
-	for _, url := range strings.Split(*resources, ",") {
-		conns, err := hc.Discover(ctx, strings.TrimSpace(url))
+	// The distributed cache tier: per-source results live in a query
+	// cache sharded across the -peers ring, outermost in the chain so a
+	// hit (local or remote) skips retries and the wire entirely. This
+	// shell serves its own ring share on -debug-addr (see below).
+	var ps *starts.PeerStore
+	if *peers != "" {
+		self := *peerSelf
+		if self == "" && *debugAddr != "" {
+			self = "http://" + *debugAddr
+		}
+		ps = starts.NewPeerStore(starts.PeerStoreConfig{
+			Self:     self,
+			Peers:    splitList(*peers),
+			Replicas: *peerReplicas,
+			Timeout:  *peerTimeout,
+			Codec:    starts.PeerResultsCodec,
+			Metrics:  reg,
+		})
+		mw = append(mw, starts.CacheMiddleware(starts.NewQueryCache(starts.QueryCacheConfig{
+			Store: ps, TTL: *cacheTTL, Metrics: reg,
+		})))
+	}
+	for _, url := range splitList(*resources) {
+		conns, err := hc.Discover(ctx, url)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "startsh: discovering %s: %v\n", url, err)
 			os.Exit(1)
@@ -150,12 +185,43 @@ func main() {
 		saverDone = ms.StartWorkloadSaver(saveCtx, *warmFile, *warmInterval)
 	}
 	if *debugAddr != "" {
+		// With a peer store, the debug listener doubles as this node's
+		// peer-wire endpoint: its ring share is served right next to the
+		// /debug/peers health view.
+		var extra []starts.DebugRoute
+		if ps != nil {
+			ph := starts.NewPeerHandler(ps)
+			for _, pattern := range []string{
+				"GET /peer/cache/{key}", "PUT /peer/cache/{key}",
+				"DELETE /peer/cache/{key}", "GET /peer/len",
+			} {
+				extra = append(extra, starts.DebugRoute{Pattern: pattern, Handler: ph})
+			}
+			extra = append(extra, starts.DebugRoute{Pattern: "GET /debug/peers", Handler: ps.DebugHandler()})
+		}
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, ms.DebugHandler()); err != nil {
+			if err := http.ListenAndServe(*debugAddr, ms.DebugHandler(extra...)); err != nil {
 				fmt.Fprintf(os.Stderr, "startsh: debug server: %v\n", err)
 			}
 		}()
 		fmt.Printf("debug endpoints on http://%s/metrics /debug/workload /debug/dispatch /debug/adaptive\n", *debugAddr)
+		if ps != nil {
+			fmt.Printf("peer cache tier: %s, health on http://%s/debug/peers\n", ps.Ring(), *debugAddr)
+		}
+	}
+	if *brokerAddr != "" {
+		broker, err := ms.NewBroker(*brokerID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "startsh: %v\n", err)
+			os.Exit(1)
+		}
+		cs := starts.NewConnServer(broker, "http://"+*brokerAddr)
+		go func() {
+			if err := http.ListenAndServe(*brokerAddr, cs); err != nil {
+				fmt.Fprintf(os.Stderr, "startsh: broker server: %v\n", err)
+			}
+		}()
+		fmt.Printf("publishing this metasearcher as source %q at http://%s/resource\n", *brokerID, *brokerAddr)
 	}
 
 	sh := &shell{ms: ms, ctx: ctx, br: br, reg: reg, trace: *trace}
@@ -311,4 +377,16 @@ func clip(s string, n int) string {
 		return s[:n-3] + "..."
 	}
 	return s
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }

@@ -114,6 +114,37 @@ const (
 	MDispatchWireSize = "starts_dispatch_wire_batch_size"
 )
 
+// Canonical metric names of the distributed peer cache tier
+// (internal/peer). They live here with the qcache family they extend:
+// the peer store, the server's /peer/cache endpoints and the CLIs'
+// /debug/peers views all emit into them and must agree on names. All
+// carry a peer label (the peer's base URL, encoded with L) unless noted.
+const (
+	// MPeerRemoteHits counts Gets served by a remote owner (the entry
+	// crossed the wire instead of re-running the fan-out).
+	MPeerRemoteHits = "starts_peer_remote_hits_total"
+	// MPeerRemoteMisses counts Gets whose remote owner answered a clean
+	// miss (404).
+	MPeerRemoteMisses = "starts_peer_remote_misses_total"
+	// MPeerRemotePuts counts Puts stored on a remote owner.
+	MPeerRemotePuts = "starts_peer_remote_puts_total"
+	// MPeerErrors counts failed peer operations, typed by op
+	// (get/put/evict/len) and kind (transport/status/decode/encode/
+	// breaker-open); every one degrades to the local store.
+	MPeerErrors = "starts_peer_errors_total"
+	// MPeerFallbacks counts operations that fell through to the local
+	// store because their remote owner failed or its circuit was open.
+	MPeerFallbacks = "starts_peer_local_fallbacks_total"
+	// MPeerRTTSeconds is the per-peer round-trip histogram of remote
+	// cache operations, dial to fully-read body.
+	MPeerRTTSeconds = "starts_peer_rtt_seconds"
+	// MPeerRingShare gauges each ring member's owned fraction of the
+	// hash space, in permille (≈ 1000/N with enough virtual nodes).
+	MPeerRingShare = "starts_peer_ring_share_permille"
+	// MPeerRingPeers gauges the ring size, self included (no label).
+	MPeerRingPeers = "starts_peer_ring_peers"
+)
+
 // MWireBatchSize is obs.WrapConn's histogram of QueryBatch sizes —
 // items per batch call as seen at the conn middleware, so wire-level
 // multiplexing stays observable wherever the observe layer sits in the

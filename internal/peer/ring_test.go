@@ -1,0 +1,97 @@
+package peer
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := NewRing(peers, 64)
+	r2 := NewRing(peers, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("two rings over the same peers disagree on %q", key)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(peers, 128)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		owner := r.Owner(fmt.Sprintf("key-%d", i))
+		if owner == "" {
+			t.Fatal("non-empty ring returned no owner")
+		}
+		counts[owner]++
+	}
+	for _, p := range peers {
+		// With 128 virtual nodes the split is coarse but every peer must
+		// carry a real share — far from both starvation and hotspot.
+		if frac := float64(counts[p]) / keys; frac < 0.15 || frac > 0.55 {
+			t.Fatalf("peer %s owns %.2f of keys, want a rough third", p, frac)
+		}
+	}
+}
+
+func TestRingShares(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(peers, 128)
+	shares := r.Shares()
+	var sum float64
+	for _, p := range peers {
+		if shares[p] <= 0 {
+			t.Fatalf("peer %s owns no hash space", p)
+		}
+		sum += shares[p]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+func TestRingStability(t *testing.T) {
+	// Consistent hashing's point: adding one peer moves only a minority
+	// of the key space.
+	before := NewRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 64)
+	after := NewRing([]string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}, 64)
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	// Ideal churn is 1/4; allow generous slack for hash variance, but a
+	// modulo-style rehash (~3/4 moved) must fail.
+	if frac := float64(moved) / keys; frac > 0.45 {
+		t.Fatalf("adding one peer moved %.2f of keys, want ~0.25", frac)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 64)
+	if got := empty.Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if len(empty.Shares()) != 0 {
+		t.Fatal("empty ring has shares")
+	}
+	single := NewRing([]string{"http://only:1"}, 64)
+	if got := single.Owner("anything"); got != "http://only:1" {
+		t.Fatalf("single-peer ring owner = %q", got)
+	}
+	if s := single.Shares()["http://only:1"]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("single peer share = %v, want 1", s)
+	}
+	dedup := NewRing([]string{"http://a:1", "http://a:1", ""}, 8)
+	if len(dedup.Peers()) != 1 {
+		t.Fatalf("ring kept duplicate/empty peers: %v", dedup.Peers())
+	}
+}

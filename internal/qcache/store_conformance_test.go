@@ -1,0 +1,17 @@
+package qcache_test
+
+import (
+	"testing"
+
+	"starts/internal/qcache"
+	"starts/internal/qcache/storetest"
+)
+
+// TestLRUStoreConformance runs the shared Store conformance suite
+// against the default sharded LRU backend; the peer store runs the same
+// suite over a live two-node cluster in internal/peer.
+func TestLRUStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) qcache.Store {
+		return qcache.NewLRUStore(0, 0, nil)
+	})
+}

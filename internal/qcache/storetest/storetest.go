@@ -1,0 +1,167 @@
+// Package storetest is the conformance suite for qcache.Store
+// implementations: one shared set of get/put/evict/TTL-expiry/Len
+// invariant checks that every backend — the in-process sharded LRU and
+// the distributed peer store alike — must pass, so a Cache can swap
+// backends without behavioral drift. Run it from a backend's own tests:
+//
+//	storetest.Run(t, func(t *testing.T) qcache.Store {
+//		return qcache.NewLRUStore(0, 0, nil)
+//	})
+//
+// The suite stores string values; a backend that moves values through a
+// codec (like the peer store) must be built with one that round-trips
+// strings losslessly.
+package storetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"starts/internal/qcache"
+)
+
+// Run exercises every Store invariant against fresh stores built by mk.
+// Each subtest gets its own store, so backends with shared external
+// state (a peer cluster) should return stores over a fresh key space or
+// reset state in mk.
+func Run(t *testing.T, mk func(t *testing.T) qcache.Store) {
+	t.Helper()
+	// Anchor at the real clock: distributed backends compare entry
+	// freshness against their own (real) clocks, so synthetic epochs
+	// would read as long-dead entries.
+	now := time.Now()
+	live := func(v string) qcache.Entry {
+		return qcache.Entry{Val: v, Expires: now.Add(time.Hour), StaleUntil: now.Add(2 * time.Hour)}
+	}
+
+	t.Run("get-missing", func(t *testing.T) {
+		s := mk(t)
+		if _, ok := s.Get("storetest-absent", now); ok {
+			t.Fatal("Get of an absent key reported ok")
+		}
+	})
+
+	t.Run("put-get-roundtrip", func(t *testing.T) {
+		s := mk(t)
+		s.Put("storetest-k1", live("v1"))
+		e, ok := s.Get("storetest-k1", now)
+		if !ok {
+			t.Fatal("Get after Put missed")
+		}
+		if e.Val != "v1" {
+			t.Fatalf("Get returned %v, want v1", e.Val)
+		}
+		if !e.Expires.Equal(now.Add(time.Hour)) || !e.StaleUntil.Equal(now.Add(2*time.Hour)) {
+			t.Fatalf("freshness bounds not preserved: expires %v staleUntil %v", e.Expires, e.StaleUntil)
+		}
+	})
+
+	t.Run("overwrite", func(t *testing.T) {
+		s := mk(t)
+		s.Put("storetest-k2", live("old"))
+		s.Put("storetest-k2", live("new"))
+		e, ok := s.Get("storetest-k2", now)
+		if !ok || e.Val != "new" {
+			t.Fatalf("Get after overwrite returned %v/%v, want new/true", e.Val, ok)
+		}
+		if n := s.Len(); n != 1 {
+			t.Fatalf("Len after overwrite = %d, want 1", n)
+		}
+	})
+
+	t.Run("stale-window-entry-served", func(t *testing.T) {
+		s := mk(t)
+		// Past Expires but within StaleUntil: the STORE must still return
+		// it — serving it stale (or not) is the Cache's decision.
+		s.Put("storetest-k3", qcache.Entry{
+			Val: "stale", Expires: now.Add(-time.Minute), StaleUntil: now.Add(time.Hour),
+		})
+		e, ok := s.Get("storetest-k3", now)
+		if !ok || e.Val != "stale" {
+			t.Fatalf("stale-window entry: got %v/%v, want stale/true", e.Val, ok)
+		}
+	})
+
+	t.Run("dead-entry-absent", func(t *testing.T) {
+		s := mk(t)
+		s.Put("storetest-k4", qcache.Entry{
+			Val: "dead", Expires: now.Add(-2 * time.Hour), StaleUntil: now.Add(-time.Hour),
+		})
+		if _, ok := s.Get("storetest-k4", now); ok {
+			t.Fatal("entry past StaleUntil reported present")
+		}
+	})
+
+	t.Run("ttl-expiry-by-clock", func(t *testing.T) {
+		s := mk(t)
+		s.Put("storetest-k5", qcache.Entry{
+			Val: "short", Expires: now.Add(50 * time.Millisecond), StaleUntil: now.Add(100 * time.Millisecond),
+		})
+		if e, ok := s.Get("storetest-k5", now); !ok || e.Val != "short" {
+			t.Fatalf("fresh short-TTL entry: got %v/%v", e, ok)
+		}
+		// The same entry read with a later clock is past its stale window
+		// and must be absent.
+		if _, ok := s.Get("storetest-k5", now.Add(time.Second)); ok {
+			t.Fatal("entry read past its StaleUntil reported present")
+		}
+	})
+
+	t.Run("evict", func(t *testing.T) {
+		s := mk(t)
+		s.Put("storetest-k6", live("v"))
+		s.Evict("storetest-k6")
+		if _, ok := s.Get("storetest-k6", now); ok {
+			t.Fatal("Get after Evict reported present")
+		}
+		// Evicting an absent key must be a harmless no-op.
+		s.Evict("storetest-never-existed")
+	})
+
+	t.Run("len", func(t *testing.T) {
+		s := mk(t)
+		if n := s.Len(); n != 0 {
+			t.Fatalf("fresh store Len = %d, want 0", n)
+		}
+		const total = 20
+		for i := 0; i < total; i++ {
+			s.Put(fmt.Sprintf("storetest-len-%d", i), live(fmt.Sprintf("v%d", i)))
+		}
+		if n := s.Len(); n != total {
+			t.Fatalf("Len after %d puts = %d", total, n)
+		}
+		for i := 0; i < total/2; i++ {
+			s.Evict(fmt.Sprintf("storetest-len-%d", i))
+		}
+		if n := s.Len(); n != total/2 {
+			t.Fatalf("Len after evicting half = %d, want %d", n, total/2)
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		s := mk(t)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					key := fmt.Sprintf("storetest-conc-%d", i%10)
+					s.Put(key, live(fmt.Sprintf("g%d-i%d", g, i)))
+					if e, ok := s.Get(key, now); ok {
+						if _, isString := e.Val.(string); !isString {
+							t.Errorf("concurrent Get returned %T, want string", e.Val)
+							return
+						}
+					}
+					if i%7 == 0 {
+						s.Evict(key)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"starts/internal/meta"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/soif"
+	"starts/internal/source"
+)
+
+// BrokerConn is the method set ConnServer needs from a source
+// connection — structurally identical to client.Conn (which satisfies
+// it), declared here so serving a conn does not make the server package
+// depend on the client package.
+type BrokerConn interface {
+	SourceID() string
+	Metadata(ctx context.Context) (*meta.SourceMeta, error)
+	Summary(ctx context.Context) (*meta.ContentSummary, error)
+	Sample(ctx context.Context) ([]*source.SampleEntry, error)
+	Query(ctx context.Context, q *query.Query) (*result.Results, error)
+}
+
+// brokerBatchConn mirrors client.BatchConn: a BrokerConn that takes a
+// whole batch in one call.
+type brokerBatchConn interface {
+	BrokerConn
+	QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error)
+}
+
+// ConnServer serves any client.Conn as a one-source STARTS resource
+// over HTTP — the publishing half of a broker hierarchy. A regional
+// metasearcher wraps itself in a core.Broker (a Conn), a ConnServer
+// puts that Conn on the wire, and a front metasearcher discovers and
+// queries it exactly like any leaf source: ZBroker-style routing built
+// entirely from the protocol's own pieces.
+//
+// The routes mirror Server's, with the Conn behind them:
+//
+//	GET  /resource                 -> @SResource naming the one source
+//	GET  /sources/{id}/metadata    -> the Conn's metadata, its linkage
+//	     URLs rewritten to point back at this server (a core.Broker
+//	     exports starts-broker:// placeholders; harvesters need HTTP)
+//	GET  /sources/{id}/summary     -> the Conn's content summary
+//	GET  /sources/{id}/sample      -> the Conn's sample results
+//	POST /sources/{id}/query       -> one query through the Conn
+//	POST /sources/{id}/query-batch -> @SQBatchItem-framed stream; items
+//	     run through the Conn concurrently (one wire call per item on a
+//	     plain Conn, one batch call on a client.BatchConn)
+type ConnServer struct {
+	conn    BrokerConn
+	baseURL string
+	mux     *http.ServeMux
+}
+
+// NewConnServer serves conn at baseURL (scheme://host[:port], no
+// trailing slash — stamped into the exported metadata's linkage URLs).
+func NewConnServer(conn BrokerConn, baseURL string) *ConnServer {
+	cs := &ConnServer{conn: conn, baseURL: strings.TrimSuffix(baseURL, "/"), mux: http.NewServeMux()}
+	cs.mux.HandleFunc("GET /resource", cs.handleResource)
+	cs.mux.HandleFunc("GET /sources/{id}/metadata", cs.withSource(cs.handleMetadata))
+	cs.mux.HandleFunc("GET /sources/{id}/summary", cs.withSource(cs.handleSummary))
+	cs.mux.HandleFunc("GET /sources/{id}/sample", cs.withSource(cs.handleSample))
+	cs.mux.HandleFunc("POST /sources/{id}/query", cs.withSource(cs.handleQuery))
+	cs.mux.HandleFunc("POST /sources/{id}/query-batch", cs.withSource(cs.handleQueryBatch))
+	return cs
+}
+
+// ServeHTTP implements http.Handler.
+func (cs *ConnServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	cs.mux.ServeHTTP(w, r)
+}
+
+// withSource guards a route against requests for a source this server
+// does not carry.
+func (cs *ConnServer) withSource(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if id := r.PathValue("id"); id != cs.conn.SourceID() {
+			http.Error(w, fmt.Sprintf("unknown source %q", id), http.StatusNotFound)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// sourceURL is this server's URL for one of the source's endpoints.
+func (cs *ConnServer) sourceURL(suffix string) string {
+	return cs.baseURL + "/sources/" + cs.conn.SourceID() + "/" + suffix
+}
+
+func (cs *ConnServer) handleResource(w http.ResponseWriter, r *http.Request) {
+	res := &meta.Resource{Entries: []meta.ResourceEntry{{
+		SourceID:    cs.conn.SourceID(),
+		MetadataURL: cs.sourceURL("metadata"),
+	}}}
+	writeObjects(w, r, []*soif.Object{res.ToSOIF()})
+}
+
+func (cs *ConnServer) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	m, err := cs.conn.Metadata(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	// The Conn's own linkage (a core.Broker's starts-broker://
+	// placeholders, or a leaf's internal URLs) is unreachable from the
+	// harvester's side of the wire; every endpoint lives here now.
+	mm := *m
+	mm.Linkage = cs.sourceURL("query")
+	mm.ContentSummaryLinkage = cs.sourceURL("summary")
+	mm.SampleDatabaseResults = cs.sourceURL("sample")
+	writeObjects(w, r, []*soif.Object{mm.ToSOIF()})
+}
+
+func (cs *ConnServer) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum, err := cs.conn.Summary(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeObjects(w, r, []*soif.Object{sum.ToSOIF()})
+}
+
+func (cs *ConnServer) handleSample(w http.ResponseWriter, r *http.Request) {
+	entries, err := cs.conn.Sample(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	var objs []*soif.Object
+	for _, e := range entries {
+		qo, err := e.Query.ToSOIF()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		objs = append(objs, qo)
+		objs = append(objs, e.Results.ToSOIF()...)
+	}
+	writeObjects(w, r, objs)
+}
+
+func (cs *ConnServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxQueryBytes {
+		http.Error(w, "query too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	obj, err := soif.Unmarshal(body)
+	if err != nil {
+		http.Error(w, "malformed query object: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := query.FromSOIF(obj)
+	if err != nil {
+		http.Error(w, "malformed query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	rr, err := cs.conn.Query(r.Context(), q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeObjects(w, r, rr.ToSOIF())
+}
+
+// handleQueryBatch mirrors Server's batch route over the Conn: the body
+// is a stream of @SQuery objects, the response a stream of @SQBatchItem
+// frames in completion order. A BatchConn gets the whole batch in one
+// call; a plain Conn runs the items concurrently.
+func (cs *ConnServer) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	qs, err := decodeBatchRequest(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == errBatchTooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	var (
+		results []*result.Results
+		errs    []error
+	)
+	if bc, ok := cs.conn.(brokerBatchConn); ok {
+		results, errs = bc.QueryBatch(r.Context(), qs)
+	} else {
+		results = make([]*result.Results, len(qs))
+		errs = make([]error, len(qs))
+		var wg sync.WaitGroup
+		for i, q := range qs {
+			wg.Add(1)
+			go func(i int, q *query.Query) {
+				defer wg.Done()
+				results[i], errs[i] = cs.conn.Query(r.Context(), q)
+			}(i, q)
+		}
+		wg.Wait()
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	enc := soif.NewEncoder(w)
+	for i := range qs {
+		if werr := result.EncodeBatchItem(enc, i, results[i], errs[i]); werr != nil {
+			return
+		}
+	}
+}

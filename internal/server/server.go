@@ -63,6 +63,17 @@ type Server struct {
 	queueTimeout      time.Duration
 	admissionTarget   time.Duration
 	admissionInterval time.Duration
+
+	peers PeerCache
+}
+
+// PeerCache is the slice of peer.Store the server mounts: the wire
+// handler for this node's ring share and the /debug/peers view. It is
+// declared structurally (peer.Store satisfies it) so the server package
+// does not depend on the peer package.
+type PeerCache interface {
+	Handler() http.Handler
+	DebugHandler() http.Handler
 }
 
 // Option configures a Server.
@@ -105,6 +116,16 @@ func WithAdmissionTarget(target, interval time.Duration) Option {
 	}
 }
 
+// WithPeerCache mounts the distributed cache tier's receiving end on
+// this server: the store's local backend served at GET/PUT/DELETE
+// /peer/cache/{key} and GET /peer/len (instrumented like every other
+// route), plus the ring snapshot at GET /debug/peers. The store should
+// name this server's base URL as its Config.Self so the ring share this
+// node owns is served from here.
+func WithPeerCache(ps PeerCache) Option {
+	return func(s *Server) { s.peers = ps }
+}
+
 // New returns a server for the resource. baseURL (scheme://host[:port],
 // no trailing slash) is stamped into each source's exported metadata so
 // that harvested metadata points back at this server.
@@ -138,6 +159,14 @@ func New(res *source.Resource, baseURL string, opts ...Option) *Server {
 	srv.route("POST /sources/{id}/query-batch", "query-batch", srv.handleQueryBatch)
 	srv.mux.Handle("GET /metrics", srv.metrics.Handler())
 	srv.mux.Handle("GET /debug/last-traces", srv.traces.Handler())
+	if srv.peers != nil {
+		ph := srv.peers.Handler()
+		srv.route("GET /peer/cache/{key}", "peer-cache", ph.ServeHTTP)
+		srv.route("PUT /peer/cache/{key}", "peer-cache", ph.ServeHTTP)
+		srv.route("DELETE /peer/cache/{key}", "peer-cache", ph.ServeHTTP)
+		srv.route("GET /peer/len", "peer-len", ph.ServeHTTP)
+		srv.mux.Handle("GET /debug/peers", srv.peers.DebugHandler())
+	}
 	return srv
 }
 

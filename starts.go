@@ -36,6 +36,7 @@ import (
 	"starts/internal/merge"
 	"starts/internal/meta"
 	"starts/internal/obs"
+	"starts/internal/peer"
 	"starts/internal/qcache"
 	"starts/internal/query"
 	"starts/internal/resilient"
@@ -293,6 +294,87 @@ type (
 // ErrShed is returned (wrapped) when the cache's admission gate sheds a
 // query under overload; detect it with errors.Is.
 var ErrShed = qcache.ErrShed
+
+// Distributed peer cache tier: a CacheStore whose key space is
+// partitioned across a fleet of metasearcher peers by a consistent-hash
+// ring. Keys owned by a remote peer travel over keep-alive HTTP to that
+// peer's /peer/cache endpoints (mounted with WithServerPeerCache or
+// NewPeerHandler); everything else — and every operation whose owner is
+// unreachable — lands in the node's local LRU, so a dead peer degrades
+// to a local miss behind a bounded timeout and per-peer breaker, never a
+// stall. Plug a PeerStore into QueryCacheConfig.Store and the fleet
+// shares one logical result cache:
+//
+//	ps := starts.NewPeerStore(starts.PeerStoreConfig{
+//		Self:  "http://10.0.0.1:8080",
+//		Peers: []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080"},
+//		Codec: starts.PeerResultsCodec,
+//	})
+//	cache := starts.NewQueryCache(starts.QueryCacheConfig{Store: ps})
+type (
+	// PeerStore is the ring-sharded CacheStore over the peer fleet.
+	PeerStore = peer.Store
+	// PeerStoreConfig configures a PeerStore (self URL, peer URLs, codec,
+	// timeout, breaker thresholds).
+	PeerStoreConfig = peer.Config
+	// PeerCodec serializes cached values for the peer wire.
+	PeerCodec = peer.Codec
+	// PeerStatus is one ring member's health row, as served on GET
+	// /debug/peers.
+	PeerStatus = peer.Status
+	// PeerRing is the consistent-hash ring mapping keys to owners.
+	PeerRing = peer.Ring
+)
+
+// PeerResultsCodec carries *Results values (per-source cached answers)
+// over the peer wire as SOIF, the same encoding they travel the STARTS
+// protocol in.
+var PeerResultsCodec PeerCodec = peer.ResultsCodec{}
+
+// NewPeerStore returns a peer-sharded cache store; a config with no
+// Peers (or only Self) keeps every key local.
+func NewPeerStore(cfg PeerStoreConfig) *PeerStore { return peer.New(cfg) }
+
+// NewPeerRing builds a consistent-hash ring directly, for routing
+// decisions outside the store (replicas <= 0 takes the default 64).
+func NewPeerRing(peers []string, replicas int) *PeerRing { return peer.NewRing(peers, replicas) }
+
+// NewPeerHandler serves a store's /peer/cache/{key} and /peer/len
+// endpoints for mounting on a custom mux; WithServerPeerCache does this
+// (plus /debug/peers) on a Server.
+func NewPeerHandler(s *PeerStore) http.Handler { return peer.NewHandler(s) }
+
+// WithServerPeerCache mounts ps's peer-cache endpoints on the server:
+// GET/PUT/DELETE /peer/cache/{key}, GET /peer/len and the GET
+// /debug/peers health view.
+func WithServerPeerCache(ps *PeerStore) ServerOption { return server.WithPeerCache(ps) }
+
+// Broker publishing: a ConnServer puts any Conn on the wire as a
+// one-source STARTS resource, the serving half of a ZBroker-style
+// hierarchy — wrap a regional Metasearcher in its Broker and serve that:
+//
+//	broker, _ := regional.NewBroker("region-west")
+//	http.ListenAndServe(addr, starts.NewConnServer(broker, baseURL))
+//
+// A front metasearcher then discovers it like any leaf source and
+// GlOSS-routes queries to the regions whose summaries match.
+type ConnServer = server.ConnServer
+
+// NewConnServer serves conn as a STARTS resource at baseURL.
+func NewConnServer(conn Conn, baseURL string) *ConnServer {
+	return server.NewConnServer(conn, baseURL)
+}
+
+// Debug routes for Metasearcher.DebugHandler.
+type (
+	// DebugRoute is one extra route mounted on a metasearcher's debug
+	// mux, e.g. {"GET /debug/peers", peerStore.DebugHandler()}.
+	DebugRoute = core.DebugRoute
+)
+
+// DebugJSON adapts a snapshot function into an indented-JSON debug
+// handler, the shape DebugHandler's own routes use.
+func DebugJSON(snapshot func() any) http.Handler { return core.DebugJSON(snapshot) }
 
 // Per-source dispatching.
 type (
