@@ -3,7 +3,7 @@
 GO      ?= go
 BINDIR  ?= /tmp/starts-bin
 
-.PHONY: build test vet race lint bench bench-dispatch bench-wire bench-peer warm soak tier1 tier2 check cli clean
+.PHONY: build test vet race lint bench bench-dispatch bench-wire bench-peer bench-engine warm soak tier1 tier2 check cli clean
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,17 @@ bench-peer:
 	$(GO) test -bench 'BenchmarkPeerCluster' -benchmem -run '^$$' . > /tmp/benchpeer.out
 	$(GO) run ./tools/benchpeer < /tmp/benchpeer.out > BENCH_8.json
 	@cat /tmp/benchpeer.out
+
+# bench-engine runs the engine-scaling benchmarks (X14: block-pruned
+# top-k ranked queries at 100k vs 1m docs per source, the exhaustive
+# path at 1m as the pruning reference, and heap-vs-full-sort answer
+# assembly on a 1m scored set) and regenerates BENCH_9.json from the
+# run via tools/benchengine. Building the 1m-doc index dominates setup;
+# allow several minutes on a small machine.
+bench-engine:
+	$(GO) test -bench 'BenchmarkEngine(Scale|Sort)' -benchmem -run '^$$' -timeout 45m ./internal/engine > /tmp/benchengine.out
+	$(GO) run ./tools/benchengine < /tmp/benchengine.out > BENCH_9.json
+	@cat /tmp/benchengine.out
 
 # soak runs the long-haul resilience scenarios (breaker lifecycle, fault
 # injection, adaptive-admission overload) under the race detector.

@@ -12,7 +12,9 @@ package corpus
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"starts/internal/index"
@@ -32,47 +34,70 @@ type Topic struct {
 // BuiltinTopics returns the standard topic set: four English domains and
 // one Spanish, each with a curated head and a generated tail.
 func BuiltinTopics() []Topic {
+	return TopicsWithVocab(defaultVocabWords)
+}
+
+// TopicsWithVocab returns the standard topic set with each topic's
+// vocabulary extended (or left) at words distinct words. Larger
+// vocabularies model larger collections: under the Zipf draw the
+// generated tail becomes genuinely rare, the way real million-document
+// collections have far more distinct terms than a toy vocabulary.
+func TopicsWithVocab(words int) []Topic {
 	return []Topic{
 		{Name: "databases", Words: vocab([]string{
 			"database", "query", "transaction", "index", "relational",
 			"distributed", "schema", "join", "optimizer", "concurrency",
 			"recovery", "storage", "tuple", "relation", "normalization",
 			"deductive", "object", "parallel", "replication", "locking",
-		}, "dat")},
+		}, "dat", words)},
 		{Name: "medicine", Words: vocab([]string{
 			"patient", "diagnosis", "treatment", "clinical", "disease",
 			"symptom", "therapy", "vaccine", "infection", "surgery",
 			"cardiology", "oncology", "dosage", "trial", "immune",
 			"pathology", "prognosis", "chronic", "acute", "remission",
-		}, "med")},
+		}, "med", words)},
 		{Name: "law", Words: vocab([]string{
 			"court", "statute", "plaintiff", "defendant", "contract",
 			"liability", "tort", "appeal", "verdict", "jurisdiction",
 			"counsel", "evidence", "precedent", "damages", "injunction",
 			"negligence", "testimony", "litigation", "settlement", "clause",
-		}, "law")},
+		}, "law", words)},
 		{Name: "gardening", Words: vocab([]string{
 			"tomato", "compost", "pruning", "soil", "harvest", "seedling",
 			"mulch", "watering", "perennial", "fertilizer", "greenhouse",
 			"cultivar", "germination", "trellis", "weeding", "bloom",
 			"rootstock", "grafting", "pollinator", "raised",
-		}, "gar")},
+		}, "gar", words)},
 		{Name: "datos", Language: lang.Spanish, Words: vocab([]string{
 			"datos", "consulta", "sistema", "distribuido", "busqueda",
 			"indice", "archivo", "red", "servidor", "biblioteca",
 			"documento", "texto", "coleccion", "fuente", "resultado",
 			"algoritmo", "modelo", "analisis", "recuperacion", "catalogo",
-		}, "esp")},
+		}, "esp", words)},
 	}
 }
 
-// vocab extends a curated head with generated tail words so each topic has
-// 120 distinct words.
-func vocab(head []string, prefix string) []string {
+// defaultVocabWords is the per-topic vocabulary size when Config leaves
+// VocabWords zero — the historical 120, which keeps every existing seed
+// reproducing the same documents.
+const defaultVocabWords = 120
+
+// vocab extends a curated head with generated tail words so each topic
+// has size distinct words. The syllable pair cycles every 100 tail
+// words; beyond that a cycle counter keeps words unique while the first
+// 100 stay byte-identical to what smaller vocabularies generate, so
+// existing seeds reproduce the same documents.
+func vocab(head []string, prefix string, size int) []string {
+	if size < len(head) {
+		size = len(head)
+	}
 	words := append([]string(nil), head...)
 	syllables := []string{"ra", "ne", "to", "li", "qua", "ver", "min", "sol", "tek", "dor"}
-	for i := 0; len(words) < 120; i++ {
+	for i := 0; len(words) < size; i++ {
 		w := prefix + syllables[i%len(syllables)] + syllables[(i/len(syllables))%len(syllables)] + fmt.Sprintf("%d", i%10)
+		if cycle := i / 100; cycle > 0 {
+			w += fmt.Sprintf("x%d", cycle)
+		}
 		words = append(words, w)
 	}
 	return words
@@ -107,6 +132,11 @@ type Config struct {
 	// topic (default 0.7); the rest splits between general vocabulary and
 	// other topics.
 	PrimaryBias float64
+	// VocabWords is the per-topic vocabulary size (default 120). Large
+	// collections should use proportionally larger vocabularies — real
+	// corpora grow distinct terms with size (Heaps' law), and it is the
+	// long rare tail that gives ranked retrieval its selectivity spread.
+	VocabWords int
 	// Overlap, in [0,1), is the fraction of each source's documents that
 	// are duplicated into the next source, exercising duplicate
 	// elimination (default 0).
@@ -140,8 +170,11 @@ func Generate(cfg Config) *Generated {
 	if cfg.PrimaryBias <= 0 || cfg.PrimaryBias > 1 {
 		cfg.PrimaryBias = 0.7
 	}
+	if cfg.VocabWords <= 0 {
+		cfg.VocabWords = defaultVocabWords
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	topics := BuiltinTopics()
+	topics := TopicsWithVocab(cfg.VocabWords)
 	g := &Generated{Topics: topics}
 
 	for si := 0; si < cfg.NumSources; si++ {
@@ -188,20 +221,38 @@ func titleCase(s string) string {
 	return string(b)
 }
 
-// zipfPick samples a word index with probability proportional to 1/(i+1).
-func zipfPick(rng *rand.Rand, n int) int {
-	// Inverse-CDF over harmonic weights, computed incrementally.
-	var h float64
-	for i := 0; i < n; i++ {
-		h += 1 / float64(i+1)
+// harmonicCDF caches the cumulative harmonic weights per vocabulary
+// size, so sampling is a binary search instead of an O(n) rebuild and
+// scan per pick. The cached prefix sums are accumulated left to right,
+// term by term — exactly the additions the previous incremental scan
+// performed — so every draw maps to the same word index as before.
+var (
+	harmonicsMu sync.Mutex
+	harmonics   = map[int][]float64{}
+)
+
+func harmonicCDF(n int) []float64 {
+	harmonicsMu.Lock()
+	defer harmonicsMu.Unlock()
+	if c, ok := harmonics[n]; ok {
+		return c
 	}
-	target := rng.Float64() * h
+	c := make([]float64, n)
 	var acc float64
 	for i := 0; i < n; i++ {
 		acc += 1 / float64(i+1)
-		if acc >= target {
-			return i
-		}
+		c[i] = acc
+	}
+	harmonics[n] = c
+	return c
+}
+
+// zipfPick samples a word index with probability proportional to 1/(i+1).
+func zipfPick(rng *rand.Rand, n int) int {
+	cum := harmonicCDF(n)
+	target := rng.Float64() * cum[n-1]
+	if i := sort.SearchFloat64s(cum, target); i < n {
+		return i
 	}
 	return n - 1
 }

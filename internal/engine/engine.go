@@ -11,6 +11,7 @@ import (
 	"starts/internal/query"
 	"starts/internal/result"
 	"starts/internal/text"
+	"starts/internal/topk"
 )
 
 // Config is an engine's capability profile: which query-language parts,
@@ -45,6 +46,10 @@ type Config struct {
 	// the Free-form-text field provides. It receives the native query
 	// string and the engine's index and returns the matching documents.
 	Native func(native string, ix *index.Index) (map[int]bool, error)
+	// Exhaustive disables the block-pruned ranked fast path, forcing
+	// every query through the full scoring walk. The two paths return
+	// identical results; equivalence tests and benchmarks flip this.
+	Exhaustive bool
 }
 
 // NewVectorConfig returns the default full-featured profile: both query
@@ -103,6 +108,22 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: config has no query parts")
 	}
 	return &Engine{cfg: cfg, ix: index.New(cfg.Analyzer)}, nil
+}
+
+// NewWithDocs returns an engine over an index built from docs with
+// parallel chunked construction (workers <= 0 means GOMAXPROCS). The
+// index is identical to one built by sequential Add calls.
+func NewWithDocs(cfg Config, docs []*index.Document, workers int) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.Build(cfg.Analyzer, docs, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.ix = ix
+	return e, nil
 }
 
 // Config returns the engine's capability profile.
@@ -217,43 +238,49 @@ func (e *Engine) Search(q *query.Query) (*result.Results, error) {
 		return res, nil
 	}
 
-	// The filter match set; no (surviving) filter means every document
-	// qualifies.
-	var matched map[int]bool
-	if actualFilter != nil {
-		set, err := e.ix.EvalFilter(actualFilter, opts)
+	var kept []*scoredDoc
+	var ev *rankEvaluator
+	if fast, ok := e.rankedFastPath(q, actualFilter, actualRanking, opts); ok {
+		// Pure ranking under the default sort: the index's block-pruned
+		// top-k traversal finds the answer without scoring the collection.
+		kept = fast
+	} else {
+		// The filter match set; no (surviving) filter means every document
+		// qualifies.
+		var matched map[int]bool
+		if actualFilter != nil {
+			set, err := e.ix.EvalFilter(actualFilter, opts)
+			if err != nil {
+				return nil, err
+			}
+			matched = set
+		} else {
+			matched = e.ix.AllDocs()
+		}
+
+		scored, rev, err := e.scoreDocs(matched, actualRanking, opts)
 		if err != nil {
 			return nil, err
 		}
-		matched = set
-	} else {
-		matched = e.ix.AllDocs()
-	}
+		ev = rev
 
-	scored, ev, err := e.scoreDocs(matched, actualRanking, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	// Answer-specification: minimum score, sort, cap. A pure ranking
-	// query (no filter) qualifies only documents that match at least one
-	// ranking term; with a filter, the filter decides membership and a
-	// zero score merely ranks last.
-	kept := scored[:0]
-	for _, sd := range scored {
-		if actualRanking != nil {
-			if sd.score < q.MinScore {
-				continue
+		// Answer-specification: minimum score, sort, cap. A pure ranking
+		// query (no filter) qualifies only documents that match at least one
+		// ranking term; with a filter, the filter decides membership and a
+		// zero score merely ranks last.
+		kept = scored[:0]
+		for _, sd := range scored {
+			if actualRanking != nil {
+				if sd.score < q.MinScore {
+					continue
+				}
+				if actualFilter == nil && sd.score == 0 {
+					continue
+				}
 			}
-			if actualFilter == nil && sd.score == 0 {
-				continue
-			}
+			kept = append(kept, sd)
 		}
-		kept = append(kept, sd)
-	}
-	e.sortDocs(kept, q.EffectiveSort())
-	if max := q.EffectiveMaxResults(); len(kept) > max {
-		kept = kept[:max]
+		kept = e.sortTop(kept, q.EffectiveSort(), q.EffectiveMaxResults())
 	}
 
 	for _, sd := range kept {
@@ -442,17 +469,59 @@ func (ev *rankEvaluator) statsFor(id int, e *Engine) []result.TermStat {
 	return stats
 }
 
-// sortDocs orders results per the query's sort specification.
-func (e *Engine) sortDocs(docs []*scoredDoc, keys []query.SortKey) {
-	sort.SliceStable(docs, func(i, j int) bool {
-		for _, k := range keys {
+// sortableDoc pairs a result with its pre-fetched field sort keys, so
+// comparisons never look up documents or format field text. Fetching
+// keys through Index.SortKeyValue also makes sorting safe against ids
+// with no document behind them — they sort on empty keys instead of
+// dereferencing a nil *index.Document inside the comparator.
+type sortableDoc struct {
+	sd   *scoredDoc
+	vals []string // aligned with the non-score sort keys, in key order
+}
+
+// sortTop orders results per the query's sort specification and returns
+// the best max of them (everything when max <= 0). Selection is a
+// bounded heap when the candidate set exceeds max — O(n log max), the
+// only sort cost a capped answer ever needs — and a plain sort
+// otherwise. The comparator ends with the ascending-id tiebreak, so the
+// order is total and deterministic regardless of input order.
+func (e *Engine) sortTop(docs []*scoredDoc, keys []query.SortKey, max int) []*scoredDoc {
+	// Map each sort key to its slot among the precomputed field values;
+	// the score pseudo-field compares scores directly.
+	slot := make([]int, len(keys))
+	nf := 0
+	for i, k := range keys {
+		if k.Field == query.ScoreSortField {
+			slot[i] = -1
+		} else {
+			slot[i] = nf
+			nf++
+		}
+	}
+	items := make([]sortableDoc, len(docs))
+	var flat []string
+	if nf > 0 {
+		flat = make([]string, len(docs)*nf)
+	}
+	for di, sd := range docs {
+		it := sortableDoc{sd: sd}
+		if nf > 0 {
+			it.vals = flat[di*nf : (di+1)*nf]
+			for i, k := range keys {
+				if slot[i] >= 0 {
+					it.vals[slot[i]] = e.ix.SortKeyValue(sd.id, k.Field)
+				}
+			}
+		}
+		items[di] = it
+	}
+	before := func(a, b sortableDoc) bool {
+		for i, k := range keys {
 			var cmp int
-			if k.Field == query.ScoreSortField {
-				cmp = compareFloat(docs[i].score, docs[j].score)
+			if slot[i] < 0 {
+				cmp = compareFloat(a.sd.score, b.sd.score)
 			} else {
-				di, _ := e.ix.Doc(docs[i].id)
-				dj, _ := e.ix.Doc(docs[j].id)
-				cmp = strings.Compare(fieldSortValue(di, k.Field), fieldSortValue(dj, k.Field))
+				cmp = strings.Compare(a.vals[slot[i]], b.vals[slot[i]])
 			}
 			if cmp == 0 {
 				continue
@@ -462,18 +531,22 @@ func (e *Engine) sortDocs(docs []*scoredDoc, keys []query.SortKey) {
 			}
 			return cmp > 0
 		}
-		return docs[i].id < docs[j].id // stable tiebreak
-	})
-}
-
-func fieldSortValue(d *index.Document, f attr.Field) string {
-	if attr.Normalize(f) == attr.FieldDateLastModified {
-		if d.Date.IsZero() {
-			return ""
-		}
-		return d.Date.UTC().Format("2006-01-02")
+		return a.sd.id < b.sd.id // stable tiebreak
 	}
-	return strings.ToLower(d.FieldText(f))
+	if max > 0 && len(items) > max {
+		h := topk.New(max, before)
+		for _, it := range items {
+			h.Push(it)
+		}
+		items = h.Sorted()
+	} else {
+		sort.Slice(items, func(i, j int) bool { return before(items[i], items[j]) })
+	}
+	out := docs[:0]
+	for _, it := range items {
+		out = append(out, it.sd)
+	}
+	return out
 }
 
 func compareFloat(a, b float64) int {

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"starts/internal/index"
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// monotoneScorer gates the block-pruned ranked fast path. A scorer opts
+// in by declaring its TermWeight monotone — non-decreasing in term
+// frequency and non-increasing in document length, with df and n fixed
+// per query — the property that makes the index's sidecar block stats
+// (max frequency, min length) sound score upper bounds.
+type monotoneScorer interface {
+	MonotoneWeight() bool
+}
+
+// rankedFastPath attempts the block-pruned top-k execution of a query:
+// instead of materializing the all-documents set and scoring every one,
+// the index's WAND traversal visits only postings that might reach the
+// top max-docs. It applies when the query is pure ranking (no filter),
+// sorted by score descending (the default), over a flat weighted-term
+// ranking expression, under a scorer with monotone term weights. The
+// returned documents are ready for answer assembly: finalized scores,
+// minimum-score filter applied, term statistics attached. ok is false
+// when the query is not eligible — the caller runs the exhaustive path,
+// which produces identical results for eligible queries (equal floats,
+// equal order, equal statistics).
+func (e *Engine) rankedFastPath(q *query.Query, filter, ranking query.Expr, opts index.LookupOptions) ([]*scoredDoc, bool) {
+	if e.cfg.Exhaustive || filter != nil || ranking == nil {
+		return nil, false
+	}
+	if ms, ok := e.cfg.Scorer.(monotoneScorer); !ok || !ms.MonotoneWeight() {
+		return nil, false
+	}
+	if sk := q.EffectiveSort(); len(sk) != 1 || sk[0].Field != query.ScoreSortField || sk[0].Ascending {
+		return nil, false
+	}
+	plan, ok := rankPlanOf(ranking)
+	if !ok {
+		return nil, false
+	}
+	plan.K = q.EffectiveMaxResults()
+	plan.TermWeight = e.cfg.Scorer.TermWeight
+	ranked, dfs, ok := e.ix.TopKRanked(plan, opts)
+	if !ok {
+		return nil, false
+	}
+
+	// The WAND top document carries the collection's best raw score — the
+	// maxScore top-scaled scorers finalize against.
+	n := e.ix.NumDocs()
+	maxScore := 0.0
+	if len(ranked) > 0 {
+		maxScore = ranked[0].Sum / plan.Norm
+	}
+	kept := make([]*scoredDoc, 0, len(ranked))
+	for _, rd := range ranked {
+		score := e.cfg.Scorer.Finalize(rd.Sum/plan.Norm, maxScore)
+		if score < q.MinScore {
+			// Finalize is monotone, so the failing documents are exactly
+			// the tail of the descending order.
+			break
+		}
+		kept = append(kept, &scoredDoc{
+			id:    rd.ID,
+			score: score,
+			stats: e.rankedStats(plan, rd, dfs, n),
+		})
+	}
+	return kept, true
+}
+
+// rankPlanOf flattens a ranking expression into a weighted-term plan:
+// a bare term, or a list(...) whose items are all plain terms — the
+// weighted-average semantics of the exhaustive evaluator. Nested
+// operators (and/or/and-not, proximity) score non-additively and fall
+// back.
+func rankPlanOf(ranking query.Expr) (index.RankPlan, bool) {
+	var plan index.RankPlan
+	switch n := ranking.(type) {
+	case *query.TermExpr:
+		w := n.EffectiveWeight()
+		if w < 0 {
+			return plan, false
+		}
+		plan.Terms = []index.RankTerm{{Term: n.Term, Weight: w}}
+		plan.Norm = 1
+		return plan, true
+	case *query.List:
+		wsum := 0.0
+		for _, it := range n.Items {
+			t, isTerm := it.(*query.TermExpr)
+			if !isTerm {
+				return plan, false
+			}
+			w := t.EffectiveWeight()
+			if w < 0 {
+				return plan, false
+			}
+			plan.Terms = append(plan.Terms, index.RankTerm{Term: t.Term, Weight: w})
+			wsum += w
+		}
+		if wsum <= 0 {
+			return plan, false
+		}
+		plan.Norm = wsum
+		return plan, true
+	default:
+		return plan, false
+	}
+}
+
+// rankedStats assembles the TermStats of one fast-path result document,
+// mirroring rankEvaluator.statsFor: unique terms in plan order, only
+// those matching the document.
+func (e *Engine) rankedStats(plan index.RankPlan, rd index.RankedDoc, dfs []int, n int) []result.TermStat {
+	var stats []result.TermStat
+	var seen map[string]bool
+	for i, rt := range plan.Terms {
+		if len(plan.Terms) > 1 {
+			key := rt.Term.String()
+			if seen == nil {
+				seen = make(map[string]bool, len(plan.Terms))
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		tf := rd.TFs[i]
+		if tf == 0 {
+			continue
+		}
+		stats = append(stats, result.TermStat{
+			Term:    query.Term{Field: rt.Term.EffectiveField(), Value: rt.Term.Value},
+			Freq:    tf,
+			Weight:  round4(e.cfg.Scorer.TermWeight(tf, dfs[i], n, e.ix.TokenCount(rd.ID))),
+			DocFreq: dfs[i],
+		})
+	}
+	return stats
+}

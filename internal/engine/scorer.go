@@ -61,6 +61,10 @@ func (TFIDF) Finalize(score, _ float64) float64 {
 	return score / (1 + score)
 }
 
+// MonotoneWeight declares TermWeight monotone (non-decreasing in tf,
+// non-increasing in docLen), enabling block-pruned top-k execution.
+func (TFIDF) MonotoneWeight() bool { return true }
+
 // TopK is the "Acme-2" scorer: the same underlying weighting as TFIDF but
 // reported on a 0–1000 scale where the best document of every result set
 // scores exactly 1000 — the paper's example of why raw scores from
@@ -86,6 +90,10 @@ func (TopK) Finalize(score, maxScore float64) float64 {
 	return 1000 * score / maxScore
 }
 
+// MonotoneWeight declares TermWeight monotone, enabling block-pruned
+// top-k execution.
+func (TopK) MonotoneWeight() bool { return true }
+
 // RawTF is the "Acme-3" scorer: the document score is simply the summed
 // term frequency, unbounded above. Its exported ScoreRange is [0,+Inf).
 type RawTF struct{}
@@ -101,3 +109,7 @@ func (RawTF) TermWeight(tf, _, _, _ int) float64 { return float64(tf) }
 
 // Finalize implements Scorer.
 func (RawTF) Finalize(score, _ float64) float64 { return score }
+
+// MonotoneWeight declares TermWeight monotone, enabling block-pruned
+// top-k execution.
+func (RawTF) MonotoneWeight() bool { return true }

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"starts/internal/attr"
+	"starts/internal/text"
+)
+
+// chunkResult is one worker's analysis of a contiguous document range:
+// everything needed to merge deterministically, nothing shared.
+type chunkResult struct {
+	postings map[attr.Field]map[string][]Posting
+	counts   []int
+	keys     []docSortKeys
+	tagged   int
+}
+
+// Build constructs an index over a document collection with parallel
+// chunked analysis and a deterministic merge. Documents receive ids in
+// slice order, exactly as sequential Add calls would assign them, and
+// the merged posting lists are byte-for-byte equivalent to a sequential
+// build: chunks cover contiguous id ranges and are merged in range
+// order, so postings stay ascending by doc id. Tokenization — the bulk
+// of indexing cost — runs on workers goroutines (default GOMAXPROCS).
+func Build(a *text.Analyzer, docs []*Document, workers int) (*Index, error) {
+	ix := New(a)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Validate identities up front so workers never see a bad document
+	// and duplicate linkage fails exactly like sequential Add.
+	for i, d := range docs {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := ix.byURL[d.Linkage]; dup {
+			return nil, fmt.Errorf("index: document %q already indexed", d.Linkage)
+		}
+		ix.byURL[d.Linkage] = i
+	}
+	ix.docs = append(ix.docs, docs...)
+
+	chunkSize := (len(docs) + workers - 1) / workers
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	nChunks := (len(docs) + chunkSize - 1) / chunkSize
+	results := make([]*chunkResult, nChunks)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				lo := ci * chunkSize
+				hi := lo + chunkSize
+				if hi > len(docs) {
+					hi = len(docs)
+				}
+				results[ci] = analyzeChunk(a, docs, lo, hi)
+			}
+		}()
+	}
+	for ci := 0; ci < nChunks; ci++ {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+
+	// Deterministic merge in chunk order: concatenating per-term posting
+	// runs from ascending disjoint id ranges preserves posting order, so
+	// block boundaries and sidecar stats come out identical to a
+	// sequential build.
+	for _, cr := range results {
+		ix.counts = append(ix.counts, cr.counts...)
+		ix.keys = append(ix.keys, cr.keys...)
+		ix.numTagged += cr.tagged
+	}
+	for _, cr := range results {
+		for f, terms := range cr.postings {
+			fi := ix.fields[f]
+			if fi == nil {
+				fi = newFieldIndex()
+				ix.fields[f] = fi
+			}
+			for term, ps := range terms {
+				pl := fi.postings[term]
+				if pl == nil {
+					pl = &postingList{}
+					fi.postings[term] = pl
+					fi.addVocab(term)
+				}
+				for _, p := range ps {
+					pl.appendPosting(p, ix.counts[p.DocID])
+					fi.totalLen += len(p.Positions)
+				}
+			}
+		}
+	}
+	return ix, nil
+}
+
+// analyzeChunk tokenizes docs[lo:hi] into private posting runs.
+func analyzeChunk(a *text.Analyzer, docs []*Document, lo, hi int) *chunkResult {
+	cr := &chunkResult{postings: map[attr.Field]map[string][]Posting{}}
+	for id := lo; id < hi; id++ {
+		d := docs[id]
+		toksByField, total := analyzeDoc(a, d)
+		for i, f := range TextFields {
+			toks := toksByField[i]
+			if len(toks) == 0 {
+				continue
+			}
+			terms := cr.postings[f]
+			if terms == nil {
+				terms = map[string][]Posting{}
+				cr.postings[f] = terms
+			}
+			for term, positions := range groupPositions(toks) {
+				terms[term] = append(terms[term], Posting{DocID: id, Positions: positions})
+			}
+		}
+		cr.counts = append(cr.counts, total)
+		cr.keys = append(cr.keys, sortKeysOf(d))
+		if len(d.Languages) > 0 {
+			cr.tagged++
+		}
+	}
+	return cr
+}
+
+// groupPositions buckets a token stream by term with sorted positions,
+// the per-document half of posting construction.
+func groupPositions(toks []text.Token) map[string][]int {
+	byTerm := map[string][]int{}
+	for _, t := range toks {
+		byTerm[t.Text] = append(byTerm[t.Text], t.Pos)
+	}
+	for _, positions := range byTerm {
+		sortInts(positions)
+	}
+	return byTerm
+}
+
+func sortInts(a []int) {
+	// Token positions arrive already ascending from the tokenizer, so
+	// this is usually a no-op scan; fall back to insertion sort on the
+	// rare out-of-order stream.
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			v, j := a[i], i-1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"starts/internal/lang"
+	"starts/internal/text"
+)
+
+// genTestDocs builds a deterministic pseudo-random collection large
+// enough to span multiple posting blocks and several build chunks.
+func genTestDocs(n int) []*Document {
+	rng := rand.New(rand.NewSource(42))
+	vocab := []string{
+		"database", "query", "distributed", "index", "merge", "rank",
+		"source", "text", "search", "protocol", "metadata", "summary",
+	}
+	docs := make([]*Document, n)
+	for i := range docs {
+		var body []string
+		for w := 0; w < 5+rng.Intn(30); w++ {
+			body = append(body, vocab[rng.Intn(len(vocab))])
+		}
+		d := &Document{
+			Linkage: fmt.Sprintf("http://t/%d", i),
+			Title:   vocab[rng.Intn(len(vocab))] + " " + vocab[rng.Intn(len(vocab))],
+			Authors: []string{"Author " + vocab[rng.Intn(len(vocab))]},
+			Body:    strings.Join(body, " "),
+		}
+		if rng.Intn(10) == 0 {
+			d.Languages = []lang.Tag{lang.Spanish}
+		}
+		docs[i] = d
+	}
+	return docs
+}
+
+// indexesEqual asserts two indexes are structurally identical, down to
+// block boundaries and sidecar stats.
+func indexesEqual(t *testing.T, a, b *Index) {
+	t.Helper()
+	if len(a.docs) != len(b.docs) || a.numTagged != b.numTagged {
+		t.Fatalf("doc count/tagged mismatch: %d/%d vs %d/%d",
+			len(a.docs), a.numTagged, len(b.docs), b.numTagged)
+	}
+	if !reflect.DeepEqual(a.counts, b.counts) {
+		t.Fatal("token counts differ")
+	}
+	if !reflect.DeepEqual(a.keys, b.keys) {
+		t.Fatal("sort keys differ")
+	}
+	if len(a.fields) != len(b.fields) {
+		t.Fatalf("field count differs: %d vs %d", len(a.fields), len(b.fields))
+	}
+	for f, fa := range a.fields {
+		fb := b.fields[f]
+		if fb == nil {
+			t.Fatalf("field %q missing in second index", f)
+		}
+		if fa.totalLen != fb.totalLen {
+			t.Fatalf("field %q totalLen %d vs %d", f, fa.totalLen, fb.totalLen)
+		}
+		if len(fa.postings) != len(fb.postings) {
+			t.Fatalf("field %q vocab size %d vs %d", f, len(fa.postings), len(fb.postings))
+		}
+		for term, pa := range fa.postings {
+			pb := fb.postings[term]
+			if pb == nil {
+				t.Fatalf("field %q term %q missing in second index", f, term)
+			}
+			if pa.n != pb.n || pa.maxFreq != pb.maxFreq || pa.minLen != pb.minLen {
+				t.Fatalf("field %q term %q list stats differ: {%d %d %d} vs {%d %d %d}",
+					f, term, pa.n, pa.maxFreq, pa.minLen, pb.n, pb.maxFreq, pb.minLen)
+			}
+			if !reflect.DeepEqual(pa.frontier, pb.frontier) {
+				t.Fatalf("field %q term %q list frontier differs: %v vs %v",
+					f, term, pa.frontier, pb.frontier)
+			}
+			if len(pa.blocks) != len(pb.blocks) {
+				t.Fatalf("field %q term %q block count %d vs %d", f, term, len(pa.blocks), len(pb.blocks))
+			}
+			for bi := range pa.blocks {
+				ba, bb := pa.blocks[bi], pb.blocks[bi]
+				if ba.minDoc != bb.minDoc || ba.maxDoc != bb.maxDoc ||
+					ba.maxFreq != bb.maxFreq || ba.minLen != bb.minLen {
+					t.Fatalf("field %q term %q block %d stats differ", f, term, bi)
+				}
+				if !reflect.DeepEqual(ba.frontier, bb.frontier) {
+					t.Fatalf("field %q term %q block %d frontier differs: %v vs %v",
+						f, term, bi, ba.frontier, bb.frontier)
+				}
+				if !reflect.DeepEqual(ba.docs, bb.docs) {
+					t.Fatalf("field %q term %q block %d postings differ", f, term, bi)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildMatchesSequentialAdd asserts the tentpole determinism claim:
+// parallel chunked construction produces an index byte-for-byte
+// equivalent to sequential Add calls — same ids, same posting blocks,
+// same sidecar stats — for any worker count.
+func TestBuildMatchesSequentialAdd(t *testing.T) {
+	docs := genTestDocs(500)
+	seq := New(text.NewAnalyzer())
+	for i, d := range docs {
+		id, err := seq.Add(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("sequential id %d for doc %d", id, i)
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		par, err := Build(text.NewAnalyzer(), docs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		indexesEqual(t, seq, par)
+	}
+}
+
+func TestBuildRejectsDuplicateLinkage(t *testing.T) {
+	docs := genTestDocs(10)
+	docs[7].Linkage = docs[2].Linkage
+	if _, err := Build(text.NewAnalyzer(), docs, 4); err == nil {
+		t.Fatal("duplicate linkage accepted")
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	ix, err := Build(text.NewAnalyzer(), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 0 {
+		t.Fatalf("empty build has %d docs", ix.NumDocs())
+	}
+	one, err := Build(text.NewAnalyzer(), genTestDocs(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NumDocs() != 1 {
+		t.Fatalf("tiny build has %d docs", one.NumDocs())
+	}
+}

@@ -31,20 +31,54 @@ func (ix *Index) evalFilterLocked(e query.Expr, opts LookupOptions) (map[int]boo
 		}
 		return set, nil
 	case *query.Bin:
-		l, err := ix.evalFilterLocked(n.L, opts)
-		if err != nil {
-			return nil, err
-		}
-		r, err := ix.evalFilterLocked(n.R, opts)
-		if err != nil {
-			return nil, err
-		}
 		switch n.Op {
 		case query.OpAnd:
+			// Evaluate the cheaper (by estimated posting volume) side
+			// first, then restrict the other side to its match set so
+			// posting traversal can skip non-qualifying blocks outright.
+			a, b := n.L, n.R
+			if ix.estimateLocked(b, opts) < ix.estimateLocked(a, opts) {
+				a, b = b, a
+			}
+			l, err := ix.evalFilterLocked(a, opts)
+			if err != nil {
+				return nil, err
+			}
+			if len(l) == 0 {
+				return l, nil
+			}
+			ropts := opts
+			ropts.cand = newCandSet(l)
+			r, err := ix.evalFilterLocked(b, ropts)
+			if err != nil {
+				return nil, err
+			}
 			return intersect(l, r), nil
 		case query.OpOr:
+			l, err := ix.evalFilterLocked(n.L, opts)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ix.evalFilterLocked(n.R, opts)
+			if err != nil {
+				return nil, err
+			}
 			return union(l, r), nil
 		case query.OpAndNot:
+			l, err := ix.evalFilterLocked(n.L, opts)
+			if err != nil {
+				return nil, err
+			}
+			if len(l) == 0 {
+				return l, nil
+			}
+			// Only candidates in the positive set can be subtracted.
+			ropts := opts
+			ropts.cand = newCandSet(l)
+			r, err := ix.evalFilterLocked(n.R, ropts)
+			if err != nil {
+				return nil, err
+			}
 			return subtract(l, r), nil
 		default:
 			return nil, fmt.Errorf("index: unknown operator %q", n.Op)
@@ -123,6 +157,80 @@ func proxSatisfied(lpos, rpos []int, dist int, ordered bool) bool {
 		}
 	}
 	return false
+}
+
+// estimateLocked guesses an expression's evaluation cost in postings
+// visited, for AND operand ordering. Exact for plain single-list terms
+// (document frequency), pessimistic (a whole collection scan) for
+// expansion modifiers and the fields evaluated by scanning documents.
+func (ix *Index) estimateLocked(e query.Expr, opts LookupOptions) int {
+	switch n := e.(type) {
+	case *query.TermExpr:
+		return ix.estimateTermLocked(n.Term, opts)
+	case *query.Bin:
+		l := ix.estimateLocked(n.L, opts)
+		r := ix.estimateLocked(n.R, opts)
+		switch n.Op {
+		case query.OpAnd:
+			if r < l {
+				return r
+			}
+			return l
+		case query.OpAndNot:
+			return l
+		default:
+			return l + r
+		}
+	case *query.Prox:
+		l := ix.estimateTermLocked(n.L.Term, opts)
+		r := ix.estimateTermLocked(n.R.Term, opts)
+		if r < l {
+			return r
+		}
+		return l
+	default:
+		return len(ix.docs)
+	}
+}
+
+func (ix *Index) estimateTermLocked(t query.Term, opts LookupOptions) int {
+	f := t.EffectiveField()
+	var fields []attr.Field
+	switch f {
+	case attr.FieldAny:
+		fields = TextFields
+	case attr.FieldTitle, attr.FieldAuthor, attr.FieldBodyOfText:
+		fields = []attr.Field{f}
+	default:
+		// Dates, linkage, languages, cross-refs, native: document scans.
+		return len(ix.docs)
+	}
+	if t.HasMod(attr.ModStem) || t.HasMod(attr.ModPhonetic) ||
+		t.HasMod(attr.ModRightTruncation) || t.HasMod(attr.ModLeftTruncation) ||
+		t.HasMod(attr.ModThesaurus) {
+		// Expansion modifiers touch an unknown slice of the vocabulary.
+		return len(ix.docs)
+	}
+	words := wordsOf(ix.analyzer, t.Value.Text)
+	if len(words) == 0 {
+		return 0
+	}
+	// A phrase costs at most its rarest word; a single word exactly its
+	// document frequency (summed across fields for "any").
+	est := len(ix.docs)
+	for _, w := range words {
+		norm := ix.analyzer.NormalizeTerm(w)
+		df := 0
+		for _, tf := range fields {
+			if fi := ix.fields[tf]; fi != nil {
+				df += fi.postings[norm].numDocs()
+			}
+		}
+		if df < est {
+			est = df
+		}
+	}
+	return est
 }
 
 func isTextField(f attr.Field) bool {

@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"starts/internal/attr"
@@ -17,11 +18,6 @@ type Posting struct {
 
 // Freq returns the term frequency (number of occurrences).
 func (p Posting) Freq() int { return len(p.Positions) }
-
-// postingList is the per-term entry of a field index.
-type postingList struct {
-	docs []Posting // ascending DocID
-}
 
 // fieldIndex holds the postings and auxiliary vocabularies of one field.
 type fieldIndex struct {
@@ -66,6 +62,21 @@ type Index struct {
 	byURL    map[string]int
 	fields   map[attr.Field]*fieldIndex
 	counts   []int // per-doc token counts under this tokenizer
+	// keys are the pre-normalized per-doc sort keys, computed once at
+	// index time so result sorting never re-formats dates or re-folds
+	// field text inside a comparator.
+	keys []docSortKeys
+	// numTagged counts documents carrying explicit language tags; when
+	// zero, language filtering is a no-op the ranked fast path skips.
+	numTagged int
+}
+
+// docSortKeys are the pre-normalized sort keys of one document: the date
+// already formatted and the common sortable text fields already folded.
+type docSortKeys struct {
+	date   string
+	title  string
+	author string
 }
 
 // New returns an empty index using the given analyzer. The analyzer's
@@ -97,11 +108,12 @@ func (ix *Index) Add(d *Document) (int, error) {
 	id := len(ix.docs)
 	ix.docs = append(ix.docs, d)
 	ix.byURL[d.Linkage] = id
-	total := 0
-	for _, f := range TextFields {
-		toks := ix.analyzer.AnalyzeAll(d.FieldText(f))
-		total += ix.analyzer.CountTokens(d.FieldText(f))
-		if len(toks) == 0 {
+	// Analyze every field before inserting postings so the document's
+	// total token count — the length-normalization bound of the sidecar
+	// block stats — is known when each posting lands in its block.
+	toksByField, total := analyzeDoc(ix.analyzer, d)
+	for i, f := range TextFields {
+		if len(toksByField[i]) == 0 {
 			continue
 		}
 		fi := ix.fields[f]
@@ -109,13 +121,68 @@ func (ix *Index) Add(d *Document) (int, error) {
 			fi = newFieldIndex()
 			ix.fields[f] = fi
 		}
-		fi.addDoc(id, toks)
+		fi.addDoc(id, toksByField[i], total)
 	}
 	ix.counts = append(ix.counts, total)
+	ix.keys = append(ix.keys, sortKeysOf(d))
+	if len(d.Languages) > 0 {
+		ix.numTagged++
+	}
 	return id, nil
 }
 
-func (fi *fieldIndex) addDoc(id int, toks []text.Token) {
+// analyzeDoc tokenizes every indexed field of one document, returning
+// per-field tokens (aligned with TextFields) and the total raw token
+// count. It touches only the analyzer, so parallel index construction
+// can run it outside the index lock.
+func analyzeDoc(a *text.Analyzer, d *Document) ([][]text.Token, int) {
+	toks := make([][]text.Token, len(TextFields))
+	total := 0
+	for i, f := range TextFields {
+		ft := d.FieldText(f)
+		toks[i] = a.AnalyzeAll(ft)
+		total += a.CountTokens(ft)
+	}
+	return toks, total
+}
+
+// sortKeysOf pre-normalizes the document's sort keys: date formatted
+// once, common text fields folded once.
+func sortKeysOf(d *Document) docSortKeys {
+	k := docSortKeys{
+		title:  strings.ToLower(d.Title),
+		author: strings.ToLower(strings.Join(d.Authors, ", ")),
+	}
+	if !d.Date.IsZero() {
+		k.date = d.Date.UTC().Format("2006-01-02")
+	}
+	return k
+}
+
+// SortKeyValue returns the document's pre-normalized sort key for a
+// field: the value fieldSortValue-style comparators need, computed once
+// at index time for the common sortable fields. An id outside the
+// collection returns "" — sorting must never dereference a missing
+// document.
+func (ix *Index) SortKeyValue(id int, f attr.Field) string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.docs) {
+		return ""
+	}
+	switch attr.Normalize(f) {
+	case attr.FieldDateLastModified:
+		return ix.keys[id].date
+	case attr.FieldTitle:
+		return ix.keys[id].title
+	case attr.FieldAuthor:
+		return ix.keys[id].author
+	default:
+		return strings.ToLower(ix.docs[id].FieldText(f))
+	}
+}
+
+func (fi *fieldIndex) addDoc(id int, toks []text.Token, docLen int) {
 	byTerm := map[string][]int{}
 	for _, t := range toks {
 		byTerm[t.Text] = append(byTerm[t.Text], t.Pos)
@@ -125,20 +192,24 @@ func (fi *fieldIndex) addDoc(id int, toks []text.Token) {
 		if pl == nil {
 			pl = &postingList{}
 			fi.postings[term] = pl
-			// New vocabulary entry: extend the auxiliary maps.
-			st := text.Stem(term)
-			fi.stems[st] = append(fi.stems[st], term)
-			if sx := text.Soundex(term); sx != "" {
-				fi.sounds[sx] = append(fi.sounds[sx], term)
-			}
-			fold := foldTerm(term)
-			fi.folds[fold] = append(fi.folds[fold], term)
-			fi.vocabOK = false
+			fi.addVocab(term)
 		}
 		sort.Ints(positions)
-		pl.docs = append(pl.docs, Posting{DocID: id, Positions: positions})
+		pl.appendPosting(Posting{DocID: id, Positions: positions}, docLen)
 		fi.totalLen += len(positions)
 	}
+}
+
+// addVocab extends the auxiliary vocabularies for a new index term.
+func (fi *fieldIndex) addVocab(term string) {
+	st := text.Stem(term)
+	fi.stems[st] = append(fi.stems[st], term)
+	if sx := text.Soundex(term); sx != "" {
+		fi.sounds[sx] = append(fi.sounds[sx], term)
+	}
+	fold := foldTerm(term)
+	fi.folds[fold] = append(fi.folds[fold], term)
+	fi.vocabOK = false
 }
 
 func foldTerm(s string) string {
@@ -198,11 +269,7 @@ func (ix *Index) DocFreq(f attr.Field, term string) int {
 	if fi == nil {
 		return 0
 	}
-	pl := fi.postings[ix.analyzer.NormalizeTerm(term)]
-	if pl == nil {
-		return 0
-	}
-	return len(pl.docs)
+	return fi.postings[ix.analyzer.NormalizeTerm(term)].numDocs()
 }
 
 // VocabTerms calls fn for every (field, term) with its posting statistics:
@@ -226,10 +293,8 @@ func (ix *Index) VocabTerms(fn func(f attr.Field, term string, postings, docFreq
 		for _, t := range terms {
 			pl := fi.postings[t]
 			total := 0
-			for _, p := range pl.docs {
-				total += p.Freq()
-			}
-			fn(f, t, total, len(pl.docs))
+			pl.iterate(func(p Posting) { total += p.Freq() })
+			fn(f, t, total, pl.numDocs())
 		}
 	}
 }

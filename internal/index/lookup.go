@@ -27,6 +27,11 @@ type LookupOptions struct {
 	// query language); nil means the field is unsupported and matches
 	// nothing.
 	Native func(native string) (map[int]bool, error)
+
+	// cand, when set, restricts the lookup to an already-known candidate
+	// set: posting traversal skips blocks whose doc-id range misses the
+	// candidates entirely. Only filter evaluation threads it (internal).
+	cand *candSet
 }
 
 // DocTermInfo is one document's match statistics for one query term.
@@ -64,15 +69,15 @@ func (ix *Index) lookupLocked(t query.Term, opts LookupOptions) (*TermMatch, err
 	f := t.EffectiveField()
 	switch f {
 	case attr.FieldDateLastModified:
-		return ix.lookupDate(t)
+		return ix.lookupDate(t, opts)
 	case attr.FieldLinkage:
-		return ix.lookupExact(t, func(d *Document) string { return d.Linkage }), nil
+		return ix.lookupExact(t, opts, func(d *Document) string { return d.Linkage }), nil
 	case attr.FieldLinkageType:
-		return ix.lookupExact(t, func(d *Document) string { return d.LinkageType }), nil
+		return ix.lookupExact(t, opts, func(d *Document) string { return d.LinkageType }), nil
 	case attr.FieldLanguages:
-		return ix.lookupLanguage(t)
+		return ix.lookupLanguage(t, opts)
 	case attr.FieldCrossReferenceLinkage:
-		return ix.lookupCrossRef(t), nil
+		return ix.lookupCrossRef(t, opts), nil
 	case attr.FieldFreeFormText:
 		if opts.Native == nil {
 			return &TermMatch{Docs: map[int]*DocTermInfo{}}, nil
@@ -184,9 +189,10 @@ func wordsOf(a *text.Analyzer, value string) []string {
 	return words
 }
 
-// matchWord finds the posting lists matching one query word under the
-// term's modifiers and merges them into a doc→info map.
-func (fi *fieldIndex) matchWord(a *text.Analyzer, word string, t query.Term, opts LookupOptions) map[int]*DocTermInfo {
+// expandWord resolves one query word to the index vocabulary terms it
+// matches under the term's modifiers: the shared expansion step of both
+// the map-building lookup path and the block-pruned ranked path.
+func (fi *fieldIndex) expandWord(a *text.Analyzer, word string, t query.Term, opts LookupOptions) []string {
 	var terms []string
 	seen := map[string]bool{}
 	add := func(candidates ...string) {
@@ -226,20 +232,36 @@ func (fi *fieldIndex) matchWord(a *text.Analyzer, word string, t query.Term, opt
 			}
 		}
 	}
+	return terms
+}
 
+// matchWord finds the posting lists matching one query word under the
+// term's modifiers and merges them into a doc→info map. A candidate set
+// in opts prunes whole posting blocks via the sidecar doc-id bounds.
+func (fi *fieldIndex) matchWord(a *text.Analyzer, word string, t query.Term, opts LookupOptions) map[int]*DocTermInfo {
+	terms := fi.expandWord(a, word, t, opts)
 	out := map[int]*DocTermInfo{}
 	for _, term := range terms {
 		pl := fi.postings[term]
 		if pl == nil {
 			continue
 		}
-		for _, p := range pl.docs {
-			if cur := out[p.DocID]; cur != nil {
-				cur.Freq += p.Freq()
-				cur.Positions = append(cur.Positions, p.Positions...)
-				sort.Ints(cur.Positions)
-			} else {
-				out[p.DocID] = &DocTermInfo{Freq: p.Freq(), Positions: append([]int(nil), p.Positions...)}
+		for _, b := range pl.blocks {
+			if opts.cand.skipBlock(b) {
+				continue
+			}
+			for i := range b.docs {
+				p := b.docs[i]
+				if !opts.cand.admits(p.DocID) {
+					continue
+				}
+				if cur := out[p.DocID]; cur != nil {
+					cur.Freq += p.Freq()
+					cur.Positions = append(cur.Positions, p.Positions...)
+					sort.Ints(cur.Positions)
+				} else {
+					out[p.DocID] = &DocTermInfo{Freq: p.Freq(), Positions: append([]int(nil), p.Positions...)}
+				}
 			}
 		}
 	}
@@ -300,22 +322,39 @@ func containsInt(sorted []int, x int) bool {
 	return i < len(sorted) && sorted[i] == x
 }
 
+// eachDoc visits every document — or, when a candidate set restricts the
+// lookup, only the candidates — the collection-scan analogue of block
+// skipping for the fields without posting lists.
+func (ix *Index) eachDoc(cand *candSet, fn func(id int, d *Document)) {
+	if cand == nil {
+		for id, d := range ix.docs {
+			fn(id, d)
+		}
+		return
+	}
+	for id := range cand.ids {
+		if id >= 0 && id < len(ix.docs) {
+			fn(id, ix.docs[id])
+		}
+	}
+}
+
 // lookupDate evaluates a comparison against the last-modified date.
-func (ix *Index) lookupDate(t query.Term) (*TermMatch, error) {
+func (ix *Index) lookupDate(t query.Term, opts LookupOptions) (*TermMatch, error) {
 	when, err := parseDate(t.Value.Text)
 	if err != nil {
 		return nil, err
 	}
 	cmp := t.Comparison()
 	m := &TermMatch{Docs: map[int]*DocTermInfo{}}
-	for id, d := range ix.docs {
+	ix.eachDoc(opts.cand, func(id int, d *Document) {
 		if d.Date.IsZero() {
-			continue
+			return
 		}
 		if dateSatisfies(d.Date, cmp, when) {
 			m.Docs[id] = &DocTermInfo{Freq: 1}
 		}
-	}
+	})
 	return m, nil
 }
 
@@ -351,44 +390,44 @@ func dateSatisfies(have time.Time, cmp attr.Modifier, want time.Time) bool {
 }
 
 // lookupExact matches the term value exactly against a whole-string field.
-func (ix *Index) lookupExact(t query.Term, get func(*Document) string) *TermMatch {
+func (ix *Index) lookupExact(t query.Term, opts LookupOptions, get func(*Document) string) *TermMatch {
 	m := &TermMatch{Docs: map[int]*DocTermInfo{}}
 	want := strings.TrimSpace(t.Value.Text)
-	for id, d := range ix.docs {
+	ix.eachDoc(opts.cand, func(id int, d *Document) {
 		if strings.EqualFold(get(d), want) {
 			m.Docs[id] = &DocTermInfo{Freq: 1}
 		}
-	}
+	})
 	return m
 }
 
-func (ix *Index) lookupLanguage(t query.Term) (*TermMatch, error) {
+func (ix *Index) lookupLanguage(t query.Term, opts LookupOptions) (*TermMatch, error) {
 	tag, err := lang.ParseTag(strings.TrimSpace(t.Value.Text))
 	if err != nil {
 		return nil, fmt.Errorf("index: languages term: %w", err)
 	}
 	m := &TermMatch{Docs: map[int]*DocTermInfo{}}
-	for id, d := range ix.docs {
+	ix.eachDoc(opts.cand, func(id int, d *Document) {
 		for _, dt := range d.Languages {
 			if dt.Matches(tag) {
 				m.Docs[id] = &DocTermInfo{Freq: 1}
 				break
 			}
 		}
-	}
+	})
 	return m, nil
 }
 
-func (ix *Index) lookupCrossRef(t query.Term) *TermMatch {
+func (ix *Index) lookupCrossRef(t query.Term, opts LookupOptions) *TermMatch {
 	m := &TermMatch{Docs: map[int]*DocTermInfo{}}
 	want := strings.TrimSpace(t.Value.Text)
-	for id, d := range ix.docs {
+	ix.eachDoc(opts.cand, func(id int, d *Document) {
 		for _, url := range d.CrossRefs {
 			if strings.EqualFold(url, want) {
 				m.Docs[id] = &DocTermInfo{Freq: 1}
 				break
 			}
 		}
-	}
+	})
 	return m
 }

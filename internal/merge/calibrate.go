@@ -83,7 +83,7 @@ type Calibrated struct {
 func (Calibrated) Name() string { return "sample-calibrated" }
 
 // Merge implements Strategy.
-func (c Calibrated) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
+func (c Calibrated) Merge(q *query.Query, inputs []SourceResult) []*result.Document {
 	var items []*merged
 	for _, in := range inputs {
 		cal, ok := c.BySource[in.SourceID]
@@ -95,5 +95,5 @@ func (c Calibrated) Merge(_ *query.Query, inputs []SourceResult) []*result.Docum
 			items = append(items, &merged{doc: d, score: s, order: len(items)})
 		}
 	}
-	return fuse(items)
+	return fuse(items, fuseLimit(q))
 }

@@ -16,6 +16,7 @@ import (
 	"starts/internal/meta"
 	"starts/internal/query"
 	"starts/internal/result"
+	"starts/internal/topk"
 )
 
 // SourceResult is one source's response plus the harvested context a
@@ -43,9 +44,13 @@ type merged struct {
 }
 
 // fuse collapses duplicates by linkage, keeping the best score and
-// accumulating source attributions, then sorts by score (descending) with
-// arrival order as the tiebreak.
-func fuse(items []*merged) []*result.Document {
+// accumulating source attributions, then ranks by score (descending)
+// with arrival order as the tiebreak. A positive limit caps the rank:
+// duplicates are still collapsed over the full input (a late arrival may
+// raise an early document's score), but only the best limit documents
+// are ordered and returned — bounded-heap selection instead of a full
+// sort. limit <= 0 returns the complete rank.
+func fuse(items []*merged, limit int) []*result.Document {
 	byURL := map[string]*merged{}
 	var keep []*merged
 	for _, it := range items {
@@ -63,12 +68,23 @@ func fuse(items []*merged) []*result.Document {
 		byURL[url] = &cp
 		keep = append(keep, &cp)
 	}
-	sort.SliceStable(keep, func(i, j int) bool {
-		if keep[i].score != keep[j].score {
-			return keep[i].score > keep[j].score
+	// Arrival order is unique, so the tiebreak makes the order total:
+	// heap selection and (stable) sorting agree exactly.
+	before := func(a, b *merged) bool {
+		if a.score != b.score {
+			return a.score > b.score
 		}
-		return keep[i].order < keep[j].order
-	})
+		return a.order < b.order
+	}
+	if limit > 0 && len(keep) > limit {
+		h := topk.New(limit, before)
+		for _, it := range keep {
+			h.Push(it)
+		}
+		keep = h.Sorted()
+	} else {
+		sort.Slice(keep, func(i, j int) bool { return before(keep[i], keep[j]) })
+	}
 	out := make([]*result.Document, len(keep))
 	for i, it := range keep {
 		out[i] = it.doc
@@ -76,16 +92,44 @@ func fuse(items []*merged) []*result.Document {
 	return out
 }
 
+// fuseLimit is the rank depth a merge needs to produce: the query's
+// max-docs answer cap (callers truncate there anyway), unbounded when
+// no query context is available.
+func fuseLimit(q *query.Query) int {
+	if q == nil {
+		return 0
+	}
+	return q.EffectiveMaxResults()
+}
+
+// appendMissingSetThreshold is the attribution count above which
+// appendMissing switches from the quadratic scan — cheapest for the
+// tiny source lists of normal merges — to a seen-set.
+const appendMissingSetThreshold = 16
+
 func appendMissing(dst []string, add []string) []string {
-	for _, s := range add {
-		found := false
-		for _, have := range dst {
-			if have == s {
-				found = true
-				break
+	if len(dst)+len(add) <= appendMissingSetThreshold {
+		for _, s := range add {
+			found := false
+			for _, have := range dst {
+				if have == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dst = append(dst, s)
 			}
 		}
-		if !found {
+		return dst
+	}
+	seen := make(map[string]bool, len(dst)+len(add))
+	for _, have := range dst {
+		seen[have] = true
+	}
+	for _, s := range add {
+		if !seen[s] {
+			seen[s] = true
 			dst = append(dst, s)
 		}
 	}
@@ -101,14 +145,14 @@ type RawScore struct{}
 func (RawScore) Name() string { return "raw-score" }
 
 // Merge implements Strategy.
-func (RawScore) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
+func (RawScore) Merge(q *query.Query, inputs []SourceResult) []*result.Document {
 	var items []*merged
 	for _, in := range inputs {
 		for _, d := range in.Results.Documents {
 			items = append(items, &merged{doc: d, score: d.RawScore, order: len(items)})
 		}
 	}
-	return fuse(items)
+	return fuse(items, fuseLimit(q))
 }
 
 // Scaled normalizes each source's scores onto [0,1] using the ScoreRange
@@ -120,7 +164,7 @@ type Scaled struct{}
 func (Scaled) Name() string { return "scaled-score" }
 
 // Merge implements Strategy.
-func (Scaled) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
+func (Scaled) Merge(q *query.Query, inputs []SourceResult) []*result.Document {
 	var items []*merged
 	for _, in := range inputs {
 		lo, hi := 0.0, 0.0
@@ -145,7 +189,7 @@ func (Scaled) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
 			items = append(items, &merged{doc: d, score: s, order: len(items)})
 		}
 	}
-	return fuse(items)
+	return fuse(items, fuseLimit(q))
 }
 
 // RoundRobin interleaves the per-source ranks position by position,
@@ -156,7 +200,7 @@ type RoundRobin struct{}
 func (RoundRobin) Name() string { return "round-robin" }
 
 // Merge implements Strategy.
-func (RoundRobin) Merge(_ *query.Query, inputs []SourceResult) []*result.Document {
+func (RoundRobin) Merge(q *query.Query, inputs []SourceResult) []*result.Document {
 	var items []*merged
 	maxLen := 0
 	for _, in := range inputs {
@@ -173,7 +217,7 @@ func (RoundRobin) Merge(_ *query.Query, inputs []SourceResult) []*result.Documen
 			}
 		}
 	}
-	return fuse(items)
+	return fuse(items, fuseLimit(q))
 }
 
 // TermStats recomputes a global score for every document from the term
@@ -259,7 +303,7 @@ func (t TermStats) Merge(q *query.Query, inputs []SourceResult) []*result.Docume
 			items = append(items, &merged{doc: d, score: score, order: len(items)})
 		}
 	}
-	return fuse(items)
+	return fuse(items, fuseLimit(q))
 }
 
 // termKey normalizes a term for cross-source aggregation: field plus

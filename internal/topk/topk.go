@@ -1,0 +1,98 @@
+// Package topk provides bounded top-k selection: a fixed-capacity heap
+// that keeps the k best items of a stream in O(n log k) instead of
+// sorting everything in O(n log n). The engine's result sorting, the
+// index's ranked traversal and the metasearcher's rank fusion all cap
+// their output at the query's max-docs, so none of them needs a total
+// order over more than k items.
+package topk
+
+import "sort"
+
+// Heap keeps the k best items seen so far under a strict ordering:
+// before(a, b) reports that a outranks b. The worst kept item sits at
+// the root, so a full heap rejects a non-qualifying offer after one
+// comparison. before must be a strict weak ordering; for deterministic
+// output it should be total (break ties on a unique key).
+type Heap[T any] struct {
+	k      int
+	before func(a, b T) bool
+	items  []T
+}
+
+// New returns a heap selecting the k best items by before.
+func New[T any](k int, before func(a, b T) bool) *Heap[T] {
+	if k < 0 {
+		k = 0
+	}
+	c := k
+	if c > 1024 {
+		c = 1024 // cap pre-allocation for huge k
+	}
+	return &Heap[T]{k: k, before: before, items: make([]T, 0, c)}
+}
+
+// Len returns the number of items currently kept.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Full reports whether k items are kept, i.e. whether Worst is valid
+// and further offers must outrank it.
+func (h *Heap[T]) Full() bool { return len(h.items) >= h.k }
+
+// Worst returns the k-th best item kept; only valid when Full.
+func (h *Heap[T]) Worst() T { return h.items[0] }
+
+// Push offers an item; it is kept only while it is among the k best.
+func (h *Heap[T]) Push(x T) {
+	if h.k == 0 {
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, x)
+		i := len(h.items) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !h.before(h.items[p], h.items[i]) {
+				break
+			}
+			h.items[i], h.items[p] = h.items[p], h.items[i]
+			i = p
+		}
+		return
+	}
+	if !h.before(x, h.items[0]) {
+		return
+	}
+	h.items[0] = x
+	h.siftDown()
+}
+
+// siftDown restores the worst-at-root invariant after a root
+// replacement: the root sinks below any child it outranks.
+func (h *Heap[T]) siftDown() {
+	n := len(h.items)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < n && h.before(h.items[w], h.items[l]) {
+			w = l
+		}
+		if r < n && h.before(h.items[w], h.items[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		h.items[i], h.items[w] = h.items[w], h.items[i]
+		i = w
+	}
+}
+
+// Sorted drains the heap and returns the kept items best-first. The
+// heap is empty afterwards.
+func (h *Heap[T]) Sorted() []T {
+	out := h.items
+	h.items = nil
+	sort.Slice(out, func(i, j int) bool { return h.before(out[i], out[j]) })
+	return out
+}
