@@ -3,7 +3,7 @@
 GO      ?= go
 BINDIR  ?= /tmp/starts-bin
 
-.PHONY: build test vet race lint bench bench-dispatch bench-wire bench-peer bench-engine warm soak tier1 tier2 check cli clean
+.PHONY: build test vet race lint bench bench-dispatch bench-wire bench-peer bench-engine bench-load bench-load-smoke warm soak tier1 tier2 check cli clean
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,18 @@ bench-engine:
 	$(GO) test -bench 'BenchmarkEngine(Scale|Sort)' -benchmem -run '^$$' -timeout 45m ./internal/engine > /tmp/benchengine.out
 	$(GO) run ./tools/benchengine < /tmp/benchengine.out > BENCH_9.json
 	@cat /tmp/benchengine.out
+
+# bench-load runs the open-loop load harness (X15: streamed TTFR vs
+# time-to-last under load, one 500ms-slow source in a 5-source fleet,
+# in-process and over loopback HTTP) and regenerates BENCH_10.json.
+bench-load:
+	$(GO) run ./tools/benchload -out BENCH_10.json
+
+# bench-load-smoke is the CI-sized run: a second of tiny offered load,
+# result discarded — it proves the harness, fleet wiring and streamed
+# HTTP path still work end to end, not the numbers.
+bench-load-smoke:
+	$(GO) run ./tools/benchload -rate 10 -duration 1s -docs 40 -queries 8 -out /tmp/bench_load_smoke.json
 
 # soak runs the long-haul resilience scenarios (breaker lifecycle, fault
 # injection, adaptive-admission overload) under the race detector.

@@ -76,6 +76,7 @@ func main() {
 		peerSelf        = flag.String("peer-self", "", "this process's own URL among -peers (empty = pure client of the ring)")
 		peerReplicas    = flag.Int("peer-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = default 64)")
 		peerTimeout     = flag.Duration("peer-timeout", 0, "per-peer-call budget before degrading to the local store (0 = default 150ms)")
+		stream          = flag.Bool("stream", false, "print documents as their merged rank becomes certain, instead of after the slowest source")
 		trace           = flag.Bool("trace", false, "print the search's span tree and a metrics snapshot to stderr")
 	)
 	flag.Parse()
@@ -226,22 +227,43 @@ func main() {
 	if *trace {
 		sopts = append(sopts, starts.WithTrace(&tr))
 	}
-	answer, err := ms.Search(ctx, q, sopts...)
+	var answer *starts.Answer
+	var err2 error
+	if *stream {
+		// Streamed delivery: each document prints the moment its merged
+		// rank can no longer change, so the fast sources' head of the
+		// answer appears while slower sources are still being waited on.
+		answer, err2 = ms.SearchStream(ctx, q, func(ev starts.StreamEvent) error {
+			for i, d := range ev.Docs {
+				fmt.Printf("%2d. %-60s %v\n", ev.Rank+i+1, d.Title(), d.Sources)
+				fmt.Printf("    %s\n", d.Linkage())
+			}
+			return nil
+		}, sopts...)
+	} else {
+		answer, err2 = ms.Search(ctx, q, sopts...)
+	}
 	if *trace {
 		fmt.Fprint(os.Stderr, tr.Snapshot().Tree())
 		fmt.Fprint(os.Stderr, reg.Render())
 	}
-	if err != nil {
-		log.Fatalf("metasearch: %v", err)
+	if err2 != nil {
+		log.Fatalf("metasearch: %v", err2)
+	}
+	if *stream {
+		fmt.Println()
 	}
 	fmt.Printf("selection (%s):", sel.Name())
 	for _, r := range answer.Selected {
 		fmt.Printf(" %s=%.1f", r.ID, r.Goodness)
 	}
-	fmt.Printf("\ncontacted: %v\nmerge: %s\n\n", answer.Contacted, mrg.Name())
-	for i, d := range answer.Documents {
-		fmt.Printf("%2d. %-60s %v\n", i+1, d.Title(), d.Sources)
-		fmt.Printf("    %s\n", d.Linkage())
+	fmt.Printf("\ncontacted: %v\nmerge: %s\n", answer.Contacted, mrg.Name())
+	if !*stream {
+		fmt.Println()
+		for i, d := range answer.Documents {
+			fmt.Printf("%2d. %-60s %v\n", i+1, d.Title(), d.Sources)
+			fmt.Printf("    %s\n", d.Linkage())
+		}
 	}
 	if answer.Degraded.Any() {
 		fmt.Fprintf(os.Stderr, "degraded answer: %s\n", answer.Degraded)

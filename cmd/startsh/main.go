@@ -7,6 +7,8 @@
 //	summary <source-id>             show content-summary statistics
 //	select <ranking-expr>           rank sources for a query (vGlOSS)
 //	q <ranking-expr>                metasearch with a ranking expression
+//	qs <ranking-expr>               streamed metasearch: documents print
+//	                                as their merged rank becomes certain
 //	f <filter-expr>                 metasearch with a filter expression
 //	stats                           per-source statistics + metrics snapshot
 //	help                            this text
@@ -259,7 +261,7 @@ func (s *shell) dispatch(line string) {
 	rest = strings.TrimSpace(rest)
 	switch cmd {
 	case "help":
-		fmt.Println("sources | meta <id> | summary <id> | select <ranking> | q <ranking> | f <filter> | stats | quit")
+		fmt.Println("sources | meta <id> | summary <id> | select <ranking> | q <ranking> | qs <ranking> | f <filter> | stats | quit")
 	case "sources":
 		for _, id := range s.ms.SourceIDs() {
 			md, _, ok := s.ms.Harvested(id)
@@ -303,14 +305,14 @@ func (s *shell) dispatch(line string) {
 		for _, r := range (gloss.VSum{}).Rank(q, infos) {
 			fmt.Printf("  %-24s %.1f\n", r.ID, r.Goodness)
 		}
-	case "q", "f":
+	case "q", "qs", "f":
 		var q *starts.Query
 		var err error
-		if cmd == "q" {
-			q, err = rankingQuery(rest)
-		} else {
+		if cmd == "f" {
 			q = starts.NewQuery()
 			q.Filter, err = starts.ParseFilter(rest)
+		} else {
+			q, err = rankingQuery(rest)
 		}
 		if err != nil {
 			fmt.Println("error:", err)
@@ -322,7 +324,19 @@ func (s *shell) dispatch(line string) {
 		if s.trace {
 			sopts = append(sopts, starts.WithTrace(&tr))
 		}
-		ans, err := s.ms.Search(s.ctx, q, sopts...)
+		var ans *starts.Answer
+		if cmd == "qs" {
+			// Streamed: each document prints the moment its merged rank is
+			// certain, before the slowest source has answered.
+			ans, err = s.ms.SearchStream(s.ctx, q, func(ev starts.StreamEvent) error {
+				for i, d := range ev.Docs {
+					fmt.Printf("%2d. %8.3f  %-55s %v\n", ev.Rank+i+1, d.RawScore, clip(d.Title(), 55), d.Sources)
+				}
+				return nil
+			}, sopts...)
+		} else {
+			ans, err = s.ms.Search(s.ctx, q, sopts...)
+		}
 		if s.trace {
 			fmt.Print(tr.Snapshot().Tree())
 		}
@@ -334,8 +348,10 @@ func (s *shell) dispatch(line string) {
 		if ans.Degraded.Any() {
 			fmt.Printf("degraded: %s\n", ans.Degraded)
 		}
-		for i, d := range ans.Documents {
-			fmt.Printf("%2d. %8.3f  %-55s %v\n", i+1, d.RawScore, clip(d.Title(), 55), d.Sources)
+		if cmd != "qs" {
+			for i, d := range ans.Documents {
+				fmt.Printf("%2d. %8.3f  %-55s %v\n", i+1, d.RawScore, clip(d.Title(), 55), d.Sources)
+			}
 		}
 	case "stats":
 		// One consistent snapshot (IDs and stats under a single lock

@@ -34,6 +34,7 @@ func main() {
 		keepStop  = flag.Bool("keep-stop-words", false, "ask the source to keep stop words")
 		fields    = flag.String("answer", "title author", "answer fields (space separated)")
 		show      = flag.String("show", "results", "what to print: results | soif | metadata | summary")
+		stream    = flag.Bool("stream", false, "query the ?stream=1 endpoint and print documents as frames arrive")
 		timeout   = flag.Duration("timeout", 15*time.Second, "request timeout")
 	)
 	flag.Parse()
@@ -91,7 +92,35 @@ func main() {
 		q.AnswerFields = append(q.AnswerFields, attr.Field(f))
 	}
 
-	res, err := c.Query(ctx, *sourceURL+"/query", q)
+	var res *starts.Results
+	if *stream {
+		// Chunked delivery: the server flushes @SQStreamItem frames as
+		// ranks stabilize; each prints on arrival, and the terminal
+		// frame's remainder covers whatever no earlier frame carried (a
+		// leaf's whole answer arrives as one terminal frame).
+		printed := 0
+		emit := func(rank int, docs []*starts.ResultDocument) {
+			for i, d := range docs {
+				fmt.Printf("%2d. %8.4f  %s\n", rank+i+1, d.RawScore, d.Title())
+				fmt.Printf("              %s\n", d.Linkage())
+			}
+		}
+		res, err = c.QueryStream(ctx, starts.StreamURL(*sourceURL+"/query"), q,
+			func(it starts.StreamItem) error {
+				if it.Final != nil {
+					if printed < len(it.Final.Documents) {
+						emit(printed, it.Final.Documents[printed:])
+						printed = len(it.Final.Documents)
+					}
+					return nil
+				}
+				emit(it.Rank, it.Docs)
+				printed += len(it.Docs)
+				return nil
+			})
+	} else {
+		res, err = c.Query(ctx, *sourceURL+"/query", q)
+	}
 	if err != nil {
 		log.Fatalf("startsq: %v", err)
 	}
@@ -109,9 +138,12 @@ func main() {
 	if res.ActualRanking != nil {
 		fmt.Printf("actual ranking: %s\n", res.ActualRanking)
 	}
-	fmt.Printf("%d documents from %s\n\n", len(res.Documents), strings.Join(res.Sources, ", "))
-	for i, d := range res.Documents {
-		fmt.Printf("%2d. %8.4f  %s\n", i+1, d.RawScore, d.Title())
-		fmt.Printf("              %s\n", d.Linkage())
+	fmt.Printf("%d documents from %s\n", len(res.Documents), strings.Join(res.Sources, ", "))
+	if !*stream {
+		fmt.Println()
+		for i, d := range res.Documents {
+			fmt.Printf("%2d. %8.4f  %s\n", i+1, d.RawScore, d.Title())
+			fmt.Printf("              %s\n", d.Linkage())
+		}
 	}
 }

@@ -181,6 +181,12 @@ func (b *Broker) Query(ctx context.Context, q *query.Query) (*result.Results, er
 	if err != nil {
 		return nil, err
 	}
+	return b.repackage(q, ans), nil
+}
+
+// repackage renders a merged answer as a STARTS result, with every
+// contributing member listed in the header.
+func (b *Broker) repackage(q *query.Query, ans *Answer) *result.Results {
 	res := &result.Results{Sources: []string{b.id}}
 	res.Sources = append(res.Sources, ans.Contacted...)
 	// The broker's "actual query" is the original: member deviations were
@@ -188,5 +194,38 @@ func (b *Broker) Query(ctx context.Context, q *query.Query) (*result.Results, er
 	res.ActualFilter = q.Filter
 	res.ActualRanking = q.Ranking
 	res.Documents = ans.Documents
+	return res
+}
+
+// QueryStream implements client.StreamConn: the query runs through the
+// inner metasearcher's streaming search, each rank-stable slice of the
+// merged answer reaching sink as a document frame the moment the
+// incremental merge proves it final — including the terminal remainder
+// — followed by one terminal frame carrying the complete repackaged
+// result, exactly what Query would have returned. A sink error stops
+// delivery; the search still completes and the final result is
+// returned alongside the sink's error.
+func (b *Broker) QueryStream(ctx context.Context, q *query.Query, sink func(result.StreamItem) error) (*result.Results, error) {
+	var sinkErr error
+	ans, err := b.ms.SearchStream(ctx, q, func(ev StreamEvent) error {
+		if len(ev.Docs) == 0 {
+			return nil // per-source events that stabilized nothing
+		}
+		if err := sink(result.StreamItem{Rank: ev.Rank, Docs: ev.Docs}); err != nil {
+			sinkErr = err
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := b.repackage(q, ans)
+	if sinkErr != nil {
+		return res, sinkErr
+	}
+	if err := sink(result.StreamItem{Final: res}); err != nil {
+		return res, err
+	}
 	return res, nil
 }

@@ -298,10 +298,17 @@ func (m *Metasearcher) harvestAll(ctx context.Context, lim dispatch.Limits) map[
 	m.mu.RUnlock()
 	m.metrics.Counter("starts_harvest_cache_hits_total").Add(int64(total - len(stale)))
 	m.metrics.Counter("starts_harvest_cache_misses_total").Add(int64(len(stale)))
+	return m.harvestIDs(ctx, lim, stale)
+}
 
+// harvestIDs refreshes the given sources concurrently through the
+// dispatch layer (key "harvest", so concurrent searches and the
+// scheduled harvester share one fetch per source) and returns the
+// per-source errors.
+func (m *Metasearcher) harvestIDs(ctx context.Context, lim dispatch.Limits, ids []string) map[string]error {
 	out := map[string]error{}
-	tickets := make(map[string]*dispatch.Ticket, len(stale))
-	for _, id := range stale {
+	tickets := make(map[string]*dispatch.Ticket, len(ids))
+	for _, id := range ids {
 		id := id
 		t, err := m.dispatcher.Submit(ctx, id, "harvest", lim,
 			func(tctx context.Context) (any, error) {
@@ -315,7 +322,7 @@ func (m *Metasearcher) harvestAll(ctx context.Context, lim dispatch.Limits) map[
 	}
 	// All submitted harvests run concurrently on their sources' workers;
 	// waiting for them in turn costs only the slowest one.
-	for _, id := range stale {
+	for _, id := range ids {
 		t := tickets[id]
 		if t == nil {
 			continue
@@ -479,6 +486,13 @@ type Answer struct {
 // within its queue timeout. Cached answers are shared — treat them as
 // read-only.
 func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...SearchOption) (*Answer, error) {
+	return m.searchStream(ctx, q, nil, sopts...)
+}
+
+// searchStream is the shared body of Search and SearchStream: the batch
+// path is simply a stream with no sink (a nil emitter), so both run the
+// identical pipeline and middleware chain.
+func (m *Metasearcher) searchStream(ctx context.Context, q *query.Query, sink StreamSink, sopts ...SearchOption) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -491,6 +505,15 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...Sear
 		}
 	}
 	opts := cfg.Options
+
+	var em *emitter
+	if sink != nil {
+		em = m.newEmitter(sink, opts)
+		// The emitter dies with this call: a background refresh that
+		// shares this query's fill later must not reach the sink.
+		defer em.disarm()
+		m.metrics.Counter(obs.MStreamSearches).Inc()
+	}
 
 	tr := cfg.trace
 	if tr == nil {
@@ -512,9 +535,15 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...Sear
 		cache = nil
 	}
 	if cache == nil {
-		return m.run(ctx, q, opts)
+		return m.run(ctx, q, opts, em)
 	}
-	return m.searchCached(ctx, tr, q, opts, cache)
+	if em != nil {
+		// The emitter travels to the fill by context: a leading fill runs
+		// synchronously on this context and streams; background refreshes
+		// run detached, find no emitter, and stay silent.
+		ctx = withEmitter(ctx, em)
+	}
+	return m.searchCached(ctx, tr, q, opts, cache, em)
 }
 
 // searchCached is the cache-fronted Search path: it fingerprints the
@@ -523,7 +552,7 @@ func (m *Metasearcher) Search(ctx context.Context, q *query.Query, sopts ...Sear
 // answering sources' own freshness metadata (see answerTTL). The "cache"
 // span annotates how the call was served, and every serve is recorded in
 // the warm-start workload.
-func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query.Query, opts Options, cache *qcache.Cache) (*Answer, error) {
+func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query.Query, opts Options, cache *qcache.Cache, em *emitter) (*Answer, error) {
 	csp := tr.StartSpan("cache")
 	key := m.cacheKey(q, opts)
 	csp.Annotate("key", key)
@@ -537,10 +566,15 @@ func (m *Metasearcher) searchCached(ctx context.Context, tr *obs.Trace, q *query
 	ans := v.(*Answer)
 	if outcome == qcache.Filled {
 		// This call ran the pipeline itself; the answer already carries
-		// this search's trace.
+		// this search's trace, and a streaming call already emitted
+		// inside run (the fill found its emitter on the context).
 		return ans, nil
 	}
-	return ans.cachedCopy(tr, outcome == qcache.Stale), nil
+	// Hit, stale serve or coalesced follower: the shared answer arrived
+	// whole, so a streaming call replays it as one terminal event.
+	cp := ans.cachedCopy(tr, outcome == qcache.Stale)
+	em.replay(cp)
+	return cp, nil
 }
 
 // fillFor builds the cache fill that runs the full pipeline for q under
@@ -559,7 +593,10 @@ func (m *Metasearcher) fillFor(q *query.Query, opts Options) qcache.TTLFill {
 			defer ftr.Finish()
 			fctx = obs.WithTrace(obs.WithMetrics(fctx, m.metrics), ftr)
 		}
-		ans, err := m.run(fctx, q, opts)
+		// A leading fill runs on the searching caller's context and finds
+		// its emitter there; detached background refreshes find nil and
+		// run as plain batch searches.
+		ans, err := m.run(fctx, q, opts, emitterFrom(fctx))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -712,8 +749,11 @@ func (a *Answer) cachedCopy(tr *obs.Trace, stale bool) *Answer {
 
 // run executes the full metasearch pipeline — harvest, select, translate,
 // fan-out, merge — under the trace and registry already on ctx. It is the
-// uncached Search body and the query cache's fill function.
-func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options) (*Answer, error) {
+// uncached Search body and the query cache's fill function. With a
+// non-nil emitter the fan-out's completion points additionally feed an
+// incremental merger and stream rank-stable documents as they settle;
+// the final answer is built by the same batch merge either way.
+func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options, em *emitter) (*Answer, error) {
 	tr := obs.TraceFrom(ctx)
 	// The budget bounds the whole call — harvesting included — while
 	// Timeout below bounds each individual source.
@@ -784,31 +824,75 @@ func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options) (*
 	answer.Contacted = contacted
 
 	plans := m.translateAll(tr, q, contacted)
-	outcomes := m.fanOut(ctx, contacted, plans, opts)
 
-	msp := tr.StartSpan("merge")
-	var inputs []merge.SourceResult
-	for _, id := range contacted {
-		oc := outcomes[id]
-		answer.PerSource[id] = oc
+	// The harvested context is snapshotted once, before fan-out, and used
+	// for both the incremental merger's roster and the final merge inputs
+	// — a concurrent re-harvest swapping an entry mid-search must not make
+	// streamed and final scores disagree.
+	type harvested struct {
+		md  *meta.SourceMeta
+		sum *meta.ContentSummary
+	}
+	ctxs := make([]harvested, len(contacted))
+	for i, id := range contacted {
+		ctxs[i].md, ctxs[i].sum, _ = m.Harvested(id)
+	}
+	var inc *merge.Incremental
+	if em != nil && len(contacted) > 0 {
+		roster := make([]merge.StreamSource, len(contacted))
+		for i, id := range contacted {
+			roster[i] = merge.StreamSource{SourceID: id, Meta: ctxs[i].md, Summary: ctxs[i].sum}
+		}
+		inc = merge.NewIncremental(opts.Merger, q, roster)
+	}
+
+	// onDone runs serialized at each source's completion (fanOut holds
+	// its mutex): post-filtering and degradation accounting move here so
+	// stream events see them as they happen; the batch path shares the
+	// exact same code with the streaming steps skipped.
+	unverified := make(map[string][]query.Term, len(contacted))
+	onDone := func(slot int, id string, oc *SourceOutcome) {
 		if oc.Stale {
 			answer.Degraded.Stale = append(answer.Degraded.Stale, id)
 		}
-		if oc.Err != nil || oc.Results == nil {
+		ok := oc.Err == nil && oc.Results != nil
+		if !ok {
 			if oc.Err != nil {
 				answer.Degraded.Failed = append(answer.Degraded.Failed, id)
 			}
+		} else if opts.PostFilter && oc.Report != nil && len(oc.Report.DroppedTerms) > 0 {
+			kept, unver := translate.PostFilter(oc.Results.Documents, oc.Report.DroppedTerms)
+			oc.Results.Documents = kept
+			unverified[id] = unver
+		}
+		if inc == nil {
+			return
+		}
+		rank := inc.Emitted()
+		var docs []*result.Document
+		if ok {
+			docs = inc.Offer(slot, oc.Results)
+		} else {
+			docs = inc.Fail(slot)
+		}
+		em.emit(StreamEvent{
+			Docs: docs, Rank: rank, SourceID: id, Outcome: oc,
+			Degraded: answer.Degraded.snapshot(),
+		})
+	}
+	outcomes := m.fanOut(ctx, contacted, plans, opts, onDone)
+
+	msp := tr.StartSpan("merge")
+	var inputs []merge.SourceResult
+	for i, id := range contacted {
+		oc := outcomes[id]
+		answer.PerSource[id] = oc
+		if oc.Err != nil || oc.Results == nil {
 			continue
 		}
-		docs := oc.Results.Documents
-		if opts.PostFilter && oc.Report != nil && len(oc.Report.DroppedTerms) > 0 {
-			kept, unver := translate.PostFilter(docs, oc.Report.DroppedTerms)
-			oc.Results.Documents = kept
-			answer.Unverifiable = append(answer.Unverifiable, unver...)
-		}
-		md, sum, _ := m.Harvested(id)
+		answer.Unverifiable = append(answer.Unverifiable, unverified[id]...)
 		inputs = append(inputs, merge.SourceResult{
-			SourceID: id, Meta: md, Summary: sum, Results: oc.Results,
+			SourceID: id, Meta: ctxs[i].md, Summary: ctxs[i].sum, Results: oc.Results,
 		})
 	}
 	answer.Degraded.sort()
@@ -830,9 +914,16 @@ func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options) (*
 		if len(failures) > 0 && len(answer.Degraded.Skipped) == 0 {
 			return nil, fmt.Errorf("core: all %d contacted sources failed: %w", len(contacted), joinSorted(failures))
 		}
+		if em != nil {
+			em.emit(StreamEvent{Degraded: answer.Degraded.snapshot(), Final: answer})
+		}
 		return answer, nil
 	}
 
+	// The final rank always comes from the ordinary batch merge — the
+	// incremental merger streamed a stable prefix of exactly this rank
+	// and mutated nothing, so batch and streamed answers are
+	// bit-identical.
 	answer.Documents = opts.Merger.Merge(q, inputs)
 	if max := q.EffectiveMaxResults(); len(answer.Documents) > max {
 		answer.Documents = answer.Documents[:max]
@@ -841,6 +932,19 @@ func (m *Metasearcher) run(ctx context.Context, q *query.Query, opts Options) (*
 	msp.End(nil)
 	m.metrics.Counter(obs.L("starts_merge_docs_total", "strategy", opts.Merger.Name())).
 		Add(int64(len(answer.Documents)))
+	if em != nil {
+		emitted := 0
+		if inc != nil {
+			emitted = inc.Emitted()
+			if emitted > len(answer.Documents) {
+				emitted = len(answer.Documents)
+			}
+		}
+		em.emit(StreamEvent{
+			Docs: answer.Documents[emitted:], Rank: emitted,
+			Degraded: answer.Degraded.snapshot(), Final: answer,
+		})
+	}
 	return answer, nil
 }
 
@@ -964,22 +1068,30 @@ func (m *Metasearcher) translateAll(tr *obs.Trace, q *query.Query, ids []string)
 // from concurrent searches coalesce into one call), and this search only
 // keeps one cheap waiter goroutine per source so every query span ends
 // at its true completion time.
-func (m *Metasearcher) fanOut(ctx context.Context, ids []string, plans map[string]*sourcePlan, opts Options) map[string]*SourceOutcome {
+//
+// onDone (optional) observes each source's completion in real time,
+// serialized under the fan-out mutex — this is the hook the streaming
+// path hangs the incremental merger on; slot is the source's index in
+// ids. fanOut still waits for every source before returning.
+func (m *Metasearcher) fanOut(ctx context.Context, ids []string, plans map[string]*sourcePlan, opts Options, onDone func(slot int, id string, oc *SourceOutcome)) map[string]*SourceOutcome {
 	fsp := obs.TraceFrom(ctx).StartSpan("fanout")
 	defer fsp.End(nil)
 	ctx = obs.WithSpan(ctx, fsp)
 	outcomes := make(map[string]*SourceOutcome, len(ids))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, id := range ids {
+	for i, id := range ids {
 		wg.Add(1)
-		go func(id string) {
+		go func(slot int, id string) {
 			defer wg.Done()
 			oc := m.queryOne(ctx, id, plans[id], opts)
 			mu.Lock()
 			outcomes[id] = oc
+			if onDone != nil {
+				onDone(slot, id, oc)
+			}
 			mu.Unlock()
-		}(id)
+		}(i, id)
 	}
 	wg.Wait()
 	return outcomes

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"starts/internal/obs"
+	"starts/internal/query"
+	"starts/internal/result"
+)
+
+// StreamEvent is one step of a streamed search. Events arrive in rank
+// order: Docs are the documents whose final merged position just became
+// certain (Rank is the position of the first of them), so concatenating
+// every event's Docs reproduces the final answer's Documents exactly.
+//
+// Per-source events (SourceID set) fire as each contacted source
+// completes, whether or not they stabilized new documents, and carry
+// that source's Outcome plus a snapshot of the degradation accumulated
+// so far. The terminal event has Final set to the complete merged
+// answer; its Docs are the remainder the incremental merger could not
+// prove stable early. A search served from the query cache produces a
+// single terminal event carrying everything at once.
+//
+// Streamed documents alias the final answer's pointers: duplicate
+// attributions (Sources) and promoted scores are completed in place by
+// the batch merge at stream end, so an early emission may briefly show a
+// partial Sources list that the terminal event's Final answer has
+// completed.
+type StreamEvent struct {
+	// Docs are newly rank-stable documents, best first; may be empty on
+	// per-source events that stabilized nothing.
+	Docs []*result.Document
+	// Rank is the final answer position of Docs[0] (0-based).
+	Rank int
+	// SourceID names the source whose completion produced this event;
+	// empty on the terminal event.
+	SourceID string
+	// Outcome is the completed source's outcome (per-source events only).
+	Outcome *SourceOutcome
+	// Degraded is a snapshot of the degradation known so far.
+	Degraded Degradation
+	// Final is the complete merged answer; set only on the terminal
+	// event of a successful stream.
+	Final *Answer
+}
+
+// StreamSink receives stream events. It is called synchronously from
+// the search's completion path — one call at a time, never concurrently
+// — so a slow sink back-pressures emission (usually what a streaming
+// response wants). Returning an error stops further emission; the
+// search itself still runs to completion (and fills the query cache)
+// and SearchStream returns the full answer. A sink must not call back
+// into the Metasearcher.
+type StreamSink func(StreamEvent) error
+
+// SearchStream is Search with incremental delivery: events are emitted
+// as merged rank positions become certain — per-source results feed an
+// incremental merger at each fan-out completion instead of a barrier —
+// and the final answer is returned exactly as Search would have
+// returned it, bit-identical to the batch path (the stream end runs the
+// ordinary batch merge over the same inputs).
+//
+// How early documents flow depends on the merge strategy: round-robin
+// streams most eagerly, raw-score and scaled-score emit what the
+// pending sources' declared ScoreRanges can no longer displace, and
+// strategies whose scores depend on the full input set (term-stats,
+// calibrated) deliver everything in the terminal event. Either way the
+// qcache contract is unchanged: the fully-merged answer is cached at
+// stream end, and cache hits, stale serves and coalesced followers
+// replay their shared answer as one terminal event.
+func (m *Metasearcher) SearchStream(ctx context.Context, q *query.Query, sink StreamSink, sopts ...SearchOption) (*Answer, error) {
+	return m.searchStream(ctx, q, sink, sopts...)
+}
+
+// emitter serializes delivery to one sink and records the stream
+// metrics. A nil *emitter is valid and inert, so the batch Search path
+// costs one nil check. The emitter is disarmed when its search returns:
+// a background refresh triggered by this search can never write to the
+// caller's sink.
+type emitter struct {
+	mu       sync.Mutex
+	sink     StreamSink
+	dead     bool
+	start    time.Time
+	now      func() time.Time
+	metrics  *obs.Registry
+	gotFirst bool
+}
+
+func (m *Metasearcher) newEmitter(sink StreamSink, opts Options) *emitter {
+	return &emitter{sink: sink, start: opts.Now(), now: opts.Now, metrics: m.metrics}
+}
+
+// emit delivers one event unless the emitter is disarmed or the sink
+// already failed.
+func (e *emitter) emit(ev StreamEvent) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return
+	}
+	if len(ev.Docs) > 0 && !e.gotFirst {
+		e.gotFirst = true
+		e.metrics.Histogram(obs.MStreamFirstResultSeconds).Observe(e.now().Sub(e.start))
+	}
+	if ev.Final != nil {
+		e.metrics.Histogram(obs.MStreamFinalSeconds).Observe(e.now().Sub(e.start))
+	} else if len(ev.Docs) > 0 {
+		e.metrics.Counter(obs.MStreamEarlyDocs).Add(int64(len(ev.Docs)))
+	}
+	if err := e.sink(ev); err != nil {
+		e.dead = true
+		e.metrics.Counter(obs.MStreamSinkErrors).Inc()
+	}
+}
+
+// replay delivers a cache-served answer as one terminal event.
+func (e *emitter) replay(ans *Answer) {
+	if e == nil {
+		return
+	}
+	e.metrics.Counter(obs.MStreamReplays).Inc()
+	e.emit(StreamEvent{Docs: ans.Documents, Degraded: ans.Degraded.snapshot(), Final: ans})
+}
+
+// disarm permanently stops emission. Called when the owning search
+// returns, so nothing later (a stale-while-revalidate refresh sharing
+// this query's fill, say) can reach a sink whose caller has moved on.
+func (e *emitter) disarm() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.dead = true
+	e.mu.Unlock()
+}
+
+// emitterKey carries the search's emitter through the query cache to
+// its fill: qcache.DoTTL runs a leading (synchronous) fill on the
+// caller's own context, so the token reaches run and the leader
+// streams; background refreshes run on a detached context, find no
+// token, and stay silent.
+type emitterKey struct{}
+
+func withEmitter(ctx context.Context, em *emitter) context.Context {
+	return context.WithValue(ctx, emitterKey{}, em)
+}
+
+func emitterFrom(ctx context.Context) *emitter {
+	em, _ := ctx.Value(emitterKey{}).(*emitter)
+	return em
+}
+
+// snapshot returns a copy of d whose lists do not alias the answer's
+// (which later completions keep appending to).
+func (d Degradation) snapshot() Degradation {
+	d.Skipped = append([]string(nil), d.Skipped...)
+	d.Stale = append([]string(nil), d.Stale...)
+	d.Failed = append([]string(nil), d.Failed...)
+	d.HarvestFailed = append([]string(nil), d.HarvestFailed...)
+	return d
+}

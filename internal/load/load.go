@@ -1,0 +1,227 @@
+// Package load is an open-loop load harness for metasearch fleets: it
+// offers queries at a configured arrival rate — arrivals do not wait
+// for completions, the defining property of an open loop, so queueing
+// delay shows up as latency instead of silently throttling the offered
+// rate — and reports latency and time-to-first-result percentiles from
+// an obs.Registry's histograms. The query mix replays a small hot set
+// (cache-warm traffic) against a Zipf-generated cold tail, mirroring
+// the workloads the query cache and the streaming answer path are
+// designed for.
+//
+// The harness drives any search path through a Runner callback, so the
+// same workload can exercise an in-process Metasearcher, a streamed
+// search, or a fleet behind HTTP — whatever the Runner closes over.
+package load
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starts/internal/obs"
+	"starts/internal/query"
+)
+
+// Canonical metric names of the load harness. MLoadLatencySeconds is
+// offered-to-answered wall time per completed query; MLoadTTFRSeconds is
+// offered-to-first-result (streamed searches call first() at their first
+// stable document; non-streamed Runners at completion, making the two
+// distributions equal — which is exactly the comparison the streaming
+// benchmark draws).
+const (
+	MLoadLatencySeconds = "starts_load_latency_seconds"
+	MLoadTTFRSeconds    = "starts_load_ttfr_seconds"
+	MLoadOffered        = "starts_load_offered_total"
+	MLoadErrors         = "starts_load_errors_total"
+	MLoadDropped        = "starts_load_dropped_total"
+)
+
+// Runner evaluates one offered query. Implementations must call first()
+// exactly once when the first answer documents become available (a
+// streaming Runner calls it from its sink; a batch Runner may ignore it
+// — the harness then records first-result time at completion), and
+// return when the answer is complete.
+type Runner func(ctx context.Context, q *query.Query, first func()) error
+
+// Config controls one load run.
+type Config struct {
+	// Rate is the offered arrival rate in queries per second (required).
+	Rate float64
+	// Duration is the offered-load window (required). Completions may
+	// finish after it; the harness waits for in-flight queries.
+	Duration time.Duration
+	// Queries is the workload pool (required). Arrivals draw from it
+	// deterministically under Seed.
+	Queries []*query.Query
+	// HotFraction of arrivals replay one of the pool's first HotCount
+	// queries — the cache-warm hot set. The rest sweep the whole pool.
+	// Zero means no hot set.
+	HotFraction float64
+	// HotCount sizes the hot set (default 4, clamped to the pool).
+	HotCount int
+	// MaxInflight bounds concurrently evaluating queries; arrivals over
+	// the bound are dropped and counted, as an overloaded open-loop
+	// client would. Zero means unbounded.
+	MaxInflight int
+	// Timeout bounds each query evaluation (default 30s).
+	Timeout time.Duration
+	// Seed makes the arrival sequence deterministic.
+	Seed int64
+	// Metrics receives the harness histograms; nil uses a private
+	// registry. Sharing the fleet's registry puts offered-load latency
+	// next to the fleet's own metrics on one /metrics view.
+	Metrics *obs.Registry
+}
+
+// Percentiles summarizes one latency distribution.
+type Percentiles struct {
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+	// Mean is Sum/Count, an honest average to sanity-check the tails.
+	Mean time.Duration `json:"mean"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	// Offered counts arrivals, dropped included; Completed counts queries
+	// that finished cleanly, Errors those whose Runner failed, Dropped
+	// arrivals shed at the MaxInflight bound.
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	Errors    int64 `json:"errors"`
+	Dropped   int64 `json:"dropped"`
+	// Elapsed is offered-window start to last completion.
+	Elapsed time.Duration `json:"elapsed"`
+	// Throughput is completions per second over Elapsed.
+	Throughput float64 `json:"throughput_qps"`
+	// Latency is the completion-time distribution, TTFR the
+	// time-to-first-result distribution.
+	Latency Percentiles `json:"latency"`
+	TTFR    Percentiles `json:"ttfr"`
+}
+
+func percentiles(h *obs.Histogram) Percentiles {
+	p := Percentiles{
+		P50: h.Quantile(0.50),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+	}
+	if n := h.Count(); n > 0 {
+		p.Mean = h.Sum() / time.Duration(n)
+	}
+	return p
+}
+
+// Run offers cfg.Rate queries per second for cfg.Duration against run,
+// waits for stragglers, and reports the distributions. The context
+// cancels the whole run early.
+func Run(ctx context.Context, cfg Config, run Runner) (*Report, error) {
+	if cfg.Rate <= 0 {
+		return nil, errors.New("load: Rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("load: Duration must be positive")
+	}
+	if len(cfg.Queries) == 0 {
+		return nil, errors.New("load: empty query pool")
+	}
+	if run == nil {
+		return nil, errors.New("load: nil Runner")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	hot := cfg.HotCount
+	if hot <= 0 {
+		hot = 4
+	}
+	if hot > len(cfg.Queries) {
+		hot = len(cfg.Queries)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	latency := reg.Histogram(MLoadLatencySeconds)
+	ttfr := reg.Histogram(MLoadTTFRSeconds)
+
+	var (
+		rep      Report
+		inflight atomic.Int64
+		wg       sync.WaitGroup
+	)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	deadline := start.Add(cfg.Duration)
+
+offering:
+	for time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			break offering
+		case <-tick.C:
+		}
+		rep.Offered++
+		reg.Counter(MLoadOffered).Inc()
+		// Hot/cold mix, drawn on the offering goroutine so the sequence
+		// is deterministic under Seed regardless of completion timing.
+		var q *query.Query
+		if cfg.HotFraction > 0 && rng.Float64() < cfg.HotFraction {
+			q = cfg.Queries[rng.Intn(hot)]
+		} else {
+			q = cfg.Queries[rng.Intn(len(cfg.Queries))]
+		}
+		if cfg.MaxInflight > 0 && inflight.Load() >= int64(cfg.MaxInflight) {
+			rep.Dropped++
+			reg.Counter(MLoadDropped).Inc()
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		go func(q *query.Query) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			qctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			gotFirst := false
+			first := func() {
+				if !gotFirst {
+					gotFirst = true
+					ttfr.Observe(time.Since(t0))
+				}
+			}
+			err := run(qctx, q, first)
+			d := time.Since(t0)
+			if err != nil {
+				atomic.AddInt64(&rep.Errors, 1)
+				reg.Counter(MLoadErrors).Inc()
+				return
+			}
+			if !gotFirst {
+				// A batch Runner's first result IS its last.
+				ttfr.Observe(d)
+			}
+			latency.Observe(d)
+			atomic.AddInt64(&rep.Completed, 1)
+		}(q)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.Completed) / secs
+	}
+	rep.Latency = percentiles(latency)
+	rep.TTFR = percentiles(ttfr)
+	return &rep, ctx.Err()
+}

@@ -1,0 +1,217 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"starts/internal/obs"
+	"starts/internal/query"
+)
+
+func loadQueries(t *testing.T, n int) []*query.Query {
+	t.Helper()
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		q := query.New()
+		r, err := query.ParseRanking(`list((body-of-text "metasearch"))`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Ranking = r
+		qs[i] = q
+	}
+	return qs
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	var calls atomic.Int64
+	rep, err := Run(context.Background(), Config{
+		Rate:     200,
+		Duration: 250 * time.Millisecond,
+		Queries:  loadQueries(t, 8),
+		Seed:     1,
+	}, func(ctx context.Context, q *query.Query, first func()) error {
+		calls.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open loop: arrivals track the ticker, not completions. Allow wide
+	// slack for scheduler jitter but demand a real query volume.
+	if rep.Offered < 20 {
+		t.Fatalf("offered %d queries at 200qps over 250ms", rep.Offered)
+	}
+	if rep.Completed != rep.Offered {
+		t.Fatalf("completed %d of %d offered", rep.Completed, rep.Offered)
+	}
+	if got := calls.Load(); got != rep.Completed {
+		t.Fatalf("runner ran %d times, report says %d", got, rep.Completed)
+	}
+	if rep.Errors != 0 || rep.Dropped != 0 {
+		t.Fatalf("clean run reported errors=%d dropped=%d", rep.Errors, rep.Dropped)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+	if rep.Latency.P50 <= 0 || rep.TTFR.P50 <= 0 {
+		t.Fatalf("percentiles not populated: %+v / %+v", rep.Latency, rep.TTFR)
+	}
+}
+
+// TestRunDropsOverInflightBound: a runner slower than the arrival rate
+// with MaxInflight=1 must shed arrivals rather than queue them — the
+// open loop keeps offering regardless.
+func TestRunDropsOverInflightBound(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Rate:        200,
+		Duration:    200 * time.Millisecond,
+		Queries:     loadQueries(t, 2),
+		MaxInflight: 1,
+		Seed:        2,
+	}, func(ctx context.Context, q *query.Query, first func()) error {
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("no drops at 200qps against a 50ms runner with MaxInflight=1: %+v", rep)
+	}
+	if rep.Completed+rep.Dropped+rep.Errors != rep.Offered {
+		t.Fatalf("accounting leak: %+v", rep)
+	}
+}
+
+// TestRunTTFRBeatsLatency: a runner that calls first() well before it
+// returns must produce a TTFR distribution visibly below the latency
+// distribution — the quantity the streaming benchmark reports.
+func TestRunTTFRBeatsLatency(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep, err := Run(context.Background(), Config{
+		Rate:     50,
+		Duration: 200 * time.Millisecond,
+		Queries:  loadQueries(t, 2),
+		Metrics:  reg,
+		Seed:     3,
+	}, func(ctx context.Context, q *query.Query, first func()) error {
+		first()
+		select {
+		case <-time.After(40 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", rep)
+	}
+	if rep.TTFR.P50 >= rep.Latency.P50 {
+		t.Fatalf("TTFR p50 %v not below latency p50 %v", rep.TTFR.P50, rep.Latency.P50)
+	}
+	// The shared registry carries the same distributions.
+	if got := reg.Histogram(MLoadLatencySeconds).Count(); got != rep.Completed {
+		t.Fatalf("registry latency count %d, report %d", got, rep.Completed)
+	}
+	if got := reg.Counter(MLoadOffered).Value(); got != rep.Offered {
+		t.Fatalf("registry offered %d, report %d", got, rep.Offered)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	rep, err := Run(context.Background(), Config{
+		Rate:     200,
+		Duration: 100 * time.Millisecond,
+		Queries:  loadQueries(t, 2),
+		Seed:     4,
+	}, func(ctx context.Context, q *query.Query, first func()) error {
+		return boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != rep.Offered || rep.Completed != 0 {
+		t.Fatalf("all-failing runner reported %+v", rep)
+	}
+}
+
+// TestRunHotMix: with HotFraction=1 every arrival replays the hot set.
+func TestRunHotMix(t *testing.T) {
+	qs := loadQueries(t, 10)
+	seen := make(map[*query.Query]*atomic.Int64, len(qs))
+	for _, q := range qs {
+		seen[q] = &atomic.Int64{}
+	}
+	rep, err := Run(context.Background(), Config{
+		Rate:        500,
+		Duration:    100 * time.Millisecond,
+		Queries:     qs,
+		HotFraction: 1,
+		HotCount:    2,
+		Seed:        5,
+	}, func(ctx context.Context, q *query.Query, first func()) error {
+		seen[q].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	for i, q := range qs {
+		if i < 2 {
+			continue
+		}
+		if n := seen[q].Load(); n != 0 {
+			t.Fatalf("cold query %d ran %d times under HotFraction=1", i, n)
+		}
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	ok := func(ctx context.Context, q *query.Query, first func()) error { return nil }
+	qs := loadQueries(t, 1)
+	cases := []Config{
+		{Rate: 0, Duration: time.Millisecond, Queries: qs},
+		{Rate: 1, Duration: 0, Queries: qs},
+		{Rate: 1, Duration: time.Millisecond},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg, ok); err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+	}
+	if _, err := Run(context.Background(), Config{Rate: 1, Duration: time.Millisecond, Queries: qs}, nil); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+}
+
+// TestRunCancel: cancelling the context stops the offering loop early.
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, Config{
+		Rate:     100,
+		Duration: 10 * time.Second,
+		Queries:  loadQueries(t, 1),
+		Seed:     6,
+	}, func(ctx context.Context, q *query.Query, first func()) error { return nil })
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not stop the offering loop")
+	}
+}

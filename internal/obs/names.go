@@ -151,6 +151,33 @@ const (
 // chain (bucket bounds are counts, not durations).
 const MWireBatchSize = "starts_wire_batch_size"
 
+// Canonical metric names of the streaming answer path
+// (core.SearchStream feeding an incremental merger): how often searches
+// stream, how quickly the first stable document reaches the sink, and
+// how much of each answer the stability bound released early. None
+// carry labels.
+const (
+	// MStreamSearches counts searches that attached a stream sink.
+	MStreamSearches = "starts_stream_searches_total"
+	// MStreamFirstResultSeconds is the time-to-first-result histogram:
+	// search start to the first event carrying documents (cache replays
+	// included — an instant replay is a genuinely instant first result).
+	MStreamFirstResultSeconds = "starts_stream_first_result_seconds"
+	// MStreamFinalSeconds is the time-to-final histogram: search start
+	// to the terminal event with the complete merged answer.
+	MStreamFinalSeconds = "starts_stream_final_seconds"
+	// MStreamEarlyDocs counts documents emitted before the terminal
+	// event — the stability bound's yield. Compare against
+	// starts_merge_docs_total for the early-emission fraction.
+	MStreamEarlyDocs = "starts_stream_early_docs_total"
+	// MStreamReplays counts streams served whole from the query cache
+	// (hit, stale or coalesced) as one terminal event.
+	MStreamReplays = "starts_stream_replays_total"
+	// MStreamSinkErrors counts sinks that returned an error and were
+	// cut off; their searches still completed.
+	MStreamSinkErrors = "starts_stream_sink_errors_total"
+)
+
 // Canonical metric names of the adaptive admission controller
 // (internal/adaptive), which closes the loop from the dispatch and
 // breaker signals above back onto per-source dispatch limits. All carry

@@ -206,6 +206,14 @@ func FromSOIF(objs []*soif.Object) (*Results, error) {
 		return nil, fmt.Errorf("result: empty result stream")
 	}
 	head := objs[0]
+	// A server that committed its HTTP status before failing reports the
+	// failure as an @SQStreamItem error object in place of the results;
+	// surface it as the typed error it is.
+	if strings.EqualFold(head.Type, StreamItemType) {
+		if msg, ok := head.Get("Error"); ok {
+			return nil, &StreamError{Message: msg}
+		}
+	}
 	if !strings.EqualFold(head.Type, ResultsType) {
 		return nil, fmt.Errorf("result: expected @%s header, found @%s", ResultsType, head.Type)
 	}

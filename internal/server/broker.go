@@ -34,6 +34,16 @@ type brokerBatchConn interface {
 	QueryBatch(ctx context.Context, qs []*query.Query) ([]*result.Results, []error)
 }
 
+// streamBrokerConn mirrors client.StreamConn: a BrokerConn that can
+// deliver an answer incrementally (core.Broker can — its metasearcher
+// streams rank-stable prefixes as sources complete). A ?stream=1 query
+// against a plain BrokerConn still gets stream framing, just with
+// everything in the terminal frame.
+type streamBrokerConn interface {
+	BrokerConn
+	QueryStream(ctx context.Context, q *query.Query, sink func(result.StreamItem) error) (*result.Results, error)
+}
+
 // ConnServer serves any client.Conn as a one-source STARTS resource
 // over HTTP — the publishing half of a broker hierarchy. A regional
 // metasearcher wraps itself in a core.Broker (a Conn), a ConnServer
@@ -146,6 +156,20 @@ func (cs *ConnServer) handleSample(w http.ResponseWriter, r *http.Request) {
 	writeObjects(w, r, objs)
 }
 
+// handleQuery evaluates one query through the Conn. The request is
+// decoded up front so malformed queries still get their 4xx, but the
+// HTTP preamble is committed and flushed before the (potentially long)
+// merge behind the Conn completes: the ConnServer fronts a whole broker
+// fan-out, and a client should see bytes when the search starts, not
+// when its slowest source finishes. A failure after the committed
+// preamble is reported as an in-band @SQStreamItem error object, which
+// result.Parse surfaces as a *result.StreamError. JSON responses keep
+// the buffered path (and its HTTP error statuses): the JSON rendering
+// is one document, not a stream.
+//
+// With ?stream=1 the response is @SQStreamItem-framed and, when the
+// Conn supports streaming, each rank-stable slice of the answer is
+// written and flushed the moment the merge proves it final.
 func (cs *ConnServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
 	if err != nil {
@@ -166,12 +190,67 @@ func (cs *ConnServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "malformed query: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	rr, err := cs.conn.Query(r.Context(), q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
+	if wantsJSON(r) {
+		rr, err := cs.conn.Query(r.Context(), q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		writeObjects(w, r, rr.ToSOIF())
 		return
 	}
-	writeObjects(w, r, rr.ToSOIF())
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	flushTo(w)
+	enc := soif.NewEncoder(w)
+	if streamWanted(r) {
+		cs.streamQuery(w, enc, r, q)
+		return
+	}
+	rr, err := cs.conn.Query(r.Context(), q)
+	if err != nil {
+		_ = result.EncodeStreamError(enc, err)
+		return
+	}
+	for _, o := range rr.ToSOIF() {
+		if enc.Encode(o) != nil {
+			return
+		}
+	}
+}
+
+// streamQuery writes a ?stream=1 answer. A streaming Conn drives the
+// frames itself (each flushed as it stabilizes); a plain Conn yields a
+// single terminal frame once its merge completes.
+func (cs *ConnServer) streamQuery(w http.ResponseWriter, enc *soif.Encoder, r *http.Request, q *query.Query) {
+	sc, ok := cs.conn.(streamBrokerConn)
+	if !ok {
+		rr, err := cs.conn.Query(r.Context(), q)
+		if err != nil {
+			_ = result.EncodeStreamError(enc, err)
+			return
+		}
+		if result.EncodeStreamFinal(enc, rr) == nil {
+			flushTo(w)
+		}
+		return
+	}
+	_, err := sc.QueryStream(r.Context(), q, func(it result.StreamItem) error {
+		var werr error
+		if it.Final != nil {
+			werr = result.EncodeStreamFinal(enc, it.Final)
+		} else {
+			werr = result.EncodeStreamDocs(enc, it.Rank, it.Docs)
+		}
+		if werr != nil {
+			return werr
+		}
+		flushTo(w)
+		return nil
+	})
+	if err != nil {
+		_ = result.EncodeStreamError(enc, err)
+	}
 }
 
 // handleQueryBatch mirrors Server's batch route over the Conn: the body

@@ -442,16 +442,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dsp.End(nil)
+	if streamWanted(r) {
+		s.streamQuery(w, r, tr, src, q)
+		return
+	}
 	// Additional same-resource sources route through the resource, which
 	// eliminates duplicates; a plain query goes straight to the source.
 	qsp := tr.StartSpan("search")
 	qsp.SetSource(src.ID())
-	var rr *result.Results
-	if len(q.Sources) > 0 {
-		rr, err = s.res.Search(src.ID(), q)
-	} else {
-		rr, err = src.Search(q)
-	}
+	rr, err := searchOne(s.res, src, q)
 	qsp.End(err)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -463,4 +462,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	esp := tr.StartSpan("encode")
 	writeCacheable(w, r, rr.ToSOIF(), maxAge(src))
 	esp.End(nil)
+}
+
+// streamWanted reports whether the request asked for the chunked
+// @SQStreamItem response framing. JSON responses stay buffered: the JSON
+// rendering is a single document, not a frame stream.
+func streamWanted(r *http.Request) bool {
+	return r.URL.Query().Get("stream") != "" && !wantsJSON(r)
+}
+
+// flushTo pushes buffered response bytes to the client now, when the
+// writer supports it.
+func flushTo(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// streamQuery answers a ?stream=1 query with @SQStreamItem framing. The
+// HTTP preamble is committed and flushed before the search runs, so the
+// client sees time-to-first-byte immediately; a leaf source evaluates
+// its whole answer in one step, so the body is a single terminal frame
+// (documents and all). A search failure after the committed preamble is
+// reported as an in-band error frame, which result.Parse and the stream
+// decoder both surface as a *result.StreamError.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, tr *obs.Trace, src *source.Source, q *query.Query) {
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	flushTo(w)
+	enc := soif.NewEncoder(w)
+	qsp := tr.StartSpan("search")
+	qsp.SetSource(src.ID())
+	rr, err := searchOne(s.res, src, q)
+	qsp.End(err)
+	if err != nil {
+		_ = result.EncodeStreamError(enc, err)
+		return
+	}
+	qsp.Annotate("docs", strconv.Itoa(len(rr.Documents)))
+	s.metrics.Counter(obs.L("starts_server_query_docs_total", "source", src.ID())).
+		Add(int64(len(rr.Documents)))
+	esp := tr.StartSpan("encode")
+	esp.End(result.EncodeStreamFinal(enc, rr))
+	flushTo(w)
 }

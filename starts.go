@@ -168,6 +168,10 @@ func NewServer(res *Resource, baseURL string, opts ...ServerOption) *Server {
 // NewClient returns an HTTP STARTS client; nil uses a default HTTP client.
 func NewClient(hc *http.Client) *Client { return client.NewClient(hc) }
 
+// StreamURL derives a source's chunked (?stream=1) query endpoint from
+// its query URL, for Client.QueryStream.
+func StreamURL(queryURL string) string { return client.StreamURL(queryURL) }
+
 // NewLocalConn wraps an in-process source as a Conn; res may be nil.
 func NewLocalConn(src *Source, res *Resource) Conn { return client.NewLocalConn(src, res) }
 
@@ -197,6 +201,20 @@ type (
 	Selector = gloss.Selector
 	// MergeStrategy fuses per-source ranks (rank merging).
 	MergeStrategy = merge.Strategy
+	// StreamEvent is one incremental delivery from Metasearcher.SearchStream:
+	// newly rank-stable documents, a completed source's outcome, or the
+	// terminal event carrying the complete answer.
+	StreamEvent = core.StreamEvent
+	// StreamSink receives StreamEvents, serially, as ranks become certain.
+	StreamSink = core.StreamSink
+	// StreamItem is one @SQStreamItem frame of a chunked wire answer.
+	StreamItem = result.StreamItem
+	// StreamError is a query failure reported in-band, after the HTTP
+	// preamble was already committed.
+	StreamError = result.StreamError
+	// StreamConn is a source connection that can deliver a query's answer
+	// incrementally (HTTP conns against ?stream=1 endpoints, and brokers).
+	StreamConn = client.StreamConn
 )
 
 // NewMetasearcher returns a metasearcher; zero options give vGlOSS Sum(0)

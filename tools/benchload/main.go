@@ -1,0 +1,223 @@
+// Command benchload runs the internal/load open-loop harness against a
+// synthetic multi-source fleet and writes BENCH_10.json (the X15 record
+// in EXPERIMENTS.md): latency and time-to-first-result percentiles
+// under load, with one deliberately slow source in the fleet. It is the
+// measurement the streaming answer path exists for — a user should see
+// the first rank-stable documents at fast-source speed even while the
+// slowest source is still working — so the headline derived number is
+// the streamed TTFR against the time-to-last-byte of the same run.
+//
+//	make bench-load
+//
+// Three scenarios share one fleet, one workload and one offered rate:
+//
+//	inproc-batch   Metasearcher.Search — the barrier answer; TTFR is
+//	               completion time, the floor streaming must beat
+//	inproc-stream  Metasearcher.SearchStream — first() fires at the
+//	               first rank-stable documents
+//	http-stream    the same fleet behind core.Broker + server.ConnServer,
+//	               queried with client.QueryStream over real loopback
+//	               HTTP — chunked @SQStreamItem frames on the wire
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"starts/internal/client"
+	"starts/internal/core"
+	"starts/internal/corpus"
+	"starts/internal/engine"
+	"starts/internal/faulty"
+	"starts/internal/load"
+	"starts/internal/merge"
+	"starts/internal/query"
+	"starts/internal/result"
+	"starts/internal/server"
+	"starts/internal/source"
+)
+
+type scenario struct {
+	Name   string       `json:"name"`
+	Note   string       `json:"note"`
+	Report *load.Report `json:"report"`
+}
+
+type report struct {
+	PR       int               `json:"pr"`
+	Title    string            `json:"title"`
+	Date     string            `json:"date"`
+	Platform string            `json:"platform"`
+	Command  string            `json:"command"`
+	Config   map[string]any    `json:"config"`
+	Scenario []*scenario       `json:"scenarios"`
+	Derived  map[string]string `json:"derived"`
+}
+
+func main() {
+	var (
+		rate     = flag.Float64("rate", 40, "offered arrival rate, queries/second")
+		duration = flag.Duration("duration", 3*time.Second, "offered-load window per scenario")
+		sources  = flag.Int("sources", 5, "fleet size")
+		docs     = flag.Int("docs", 150, "documents per source")
+		slow     = flag.Duration("slow", 500*time.Millisecond, "injected latency on the slow source")
+		queries  = flag.Int("queries", 32, "workload pool size")
+		hot      = flag.Float64("hot", 0.3, "fraction of arrivals replaying the hot set")
+		seed     = flag.Int64("seed", 11, "corpus/workload/arrival seed")
+		out      = flag.String("out", "BENCH_10.json", "output file")
+	)
+	flag.Parse()
+	if err := run(*rate, *duration, *sources, *docs, *slow, *queries, *hot, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rate float64, duration time.Duration, nsources, docs int, slow time.Duration, nqueries int, hot float64, seed int64, out string) error {
+	g := corpus.Generate(corpus.Config{Seed: seed, NumSources: nsources, DocsPerSource: docs})
+	ms := core.New(core.Options{Timeout: 10 * time.Second, Merger: merge.RoundRobin{}})
+	defer ms.Close()
+	var slowConn *faulty.Conn
+	for i, spec := range g.Sources {
+		eng, err := engine.New(engine.NewVectorConfig())
+		if err != nil {
+			return err
+		}
+		s, err := source.New(spec.ID, eng)
+		if err != nil {
+			return err
+		}
+		if err := s.AddAll(spec.Docs); err != nil {
+			return err
+		}
+		conn := client.Conn(client.NewLocalConn(s, nil))
+		if i == len(g.Sources)-1 {
+			// The last source is the fleet's straggler: every call through it
+			// pays the injected latency, so the barrier answer cannot finish
+			// before it does.
+			slowConn = faulty.WrapConn(conn, faulty.Config{Seed: seed, Latency: slow})
+			conn = slowConn
+		}
+		ms.Add(conn)
+	}
+	var pool []*query.Query
+	for _, w := range corpus.Workload(g, corpus.WorkloadConfig{Seed: seed, NumQueries: nqueries, FilterFraction: -1}) {
+		pool = append(pool, w.Query)
+	}
+	cfg := load.Config{
+		Rate: rate, Duration: duration, Queries: pool,
+		HotFraction: hot, Timeout: 10 * time.Second, Seed: seed,
+	}
+	ctx := context.Background()
+	if err := ms.Harvest(ctx); err != nil {
+		return err
+	}
+
+	rep := &report{
+		PR:       10,
+		Title:    "streaming answers: incremental rank-merge, chunked delivery, open-loop load harness",
+		Date:     time.Now().Format("2006-01-02"),
+		Platform: fmt.Sprintf("%s/%s %s gomaxprocs=%d", runtime.GOOS, runtime.GOARCH, runtime.Version(), runtime.GOMAXPROCS(0)),
+		Command:  "make bench-load (tools/benchload)",
+		Config: map[string]any{
+			"rate_qps": rate, "duration": duration.String(),
+			"sources": nsources, "docs_per_source": docs,
+			"slow_source_latency": slow.String(), "workload_queries": nqueries,
+			"hot_fraction": hot, "seed": seed, "merger": "round-robin", "cache": "off",
+		},
+		Derived: map[string]string{},
+	}
+
+	batch, err := load.Run(ctx, cfg, func(ctx context.Context, q *query.Query, first func()) error {
+		_, err := ms.Search(ctx, q)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("inproc-batch: %w", err)
+	}
+	rep.Scenario = append(rep.Scenario, &scenario{
+		Name:   "inproc-batch",
+		Note:   "barrier Search: the answer exists only when the slowest contacted source has answered, so TTFR is completion time",
+		Report: batch,
+	})
+
+	stream, err := load.Run(ctx, cfg, func(ctx context.Context, q *query.Query, first func()) error {
+		_, err := ms.SearchStream(ctx, q, func(ev core.StreamEvent) error {
+			if len(ev.Docs) > 0 {
+				first()
+			}
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("inproc-stream: %w", err)
+	}
+	rep.Scenario = append(rep.Scenario, &scenario{
+		Name:   "inproc-stream",
+		Note:   "SearchStream: first() at the first rank-stable documents; total latency unchanged (same fan-out, same merge)",
+		Report: stream,
+	})
+
+	broker, err := ms.NewBroker("bench")
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(nil)
+	ts.Config.Handler = server.NewConnServer(broker, ts.URL)
+	defer ts.Close()
+	c := client.NewClient(nil)
+	streamURL := client.StreamURL(ts.URL + "/sources/bench/query")
+	http, err := load.Run(ctx, cfg, func(ctx context.Context, q *query.Query, first func()) error {
+		_, err := c.QueryStream(ctx, streamURL, q, func(it result.StreamItem) error {
+			if len(it.Docs) > 0 {
+				first()
+			}
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("http-stream: %w", err)
+	}
+	rep.Scenario = append(rep.Scenario, &scenario{
+		Name:   "http-stream",
+		Note:   "the fleet behind core.Broker + ConnServer over loopback HTTP: @SQStreamItem frames flushed per stable prefix, decoded as they arrive",
+		Report: http,
+	})
+
+	ratio := func(last, first time.Duration) string {
+		if first <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1fx (%v -> %v)", float64(last)/float64(first), last, first)
+	}
+	rep.Derived["inproc_ttfr_speedup_p50"] = ratio(stream.Latency.P50, stream.TTFR.P50)
+	rep.Derived["inproc_ttfr_speedup_p95"] = ratio(stream.Latency.P95, stream.TTFR.P95)
+	rep.Derived["http_ttfr_speedup_p50"] = ratio(http.Latency.P50, http.TTFR.P50)
+	rep.Derived["http_ttfr_speedup_p95"] = ratio(http.Latency.P95, http.TTFR.P95)
+	rep.Derived["batch_ttfr_equals_latency_p50"] = ratio(batch.Latency.P50, batch.TTFR.P50)
+	if slowConn != nil {
+		rep.Derived["slow_source_calls"] = fmt.Sprintf("%d", slowConn.Calls())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	for _, k := range []string{"inproc_ttfr_speedup_p50", "http_ttfr_speedup_p50"} {
+		fmt.Printf("  %s: %s\n", k, rep.Derived[k])
+	}
+	return nil
+}
